@@ -1,0 +1,54 @@
+"""Figure 5: IOzone client-side CPU utilization of the user-level
+proxy/daemon, sampled in 5-second windows over the run.
+
+Paper's shape claims (§6.2.1):
+
+- basic GFS proxy CPU is very low (average 0.6 %, under 1 %),
+- SHA1-HMAC raises it to ~5 %; adding encryption ~8 %
+  (AES slightly above RC4),
+- the SFS daemon burns more than 30 % — more than any SGFS
+  configuration.
+"""
+
+from conftest import IOZONE_CACHE, IOZONE_FILE
+
+from repro.harness import run_iozone
+
+SETUPS = ["gfs", "sgfs-sha", "sgfs-rc", "sgfs-aes", "sfs"]
+ACCOUNT = {"sfs": "sfsd"}
+
+
+def run_figure5():
+    out = {}
+    for setup in SETUPS:
+        r = run_iozone(
+            setup, rtt=0.0, file_size=IOZONE_FILE,
+            setup_kwargs={"cache_bytes": IOZONE_CACHE},
+        )
+        account = ACCOUNT.get(setup, "proxy")
+        out[setup] = {
+            "mean": r.cpu_mean("client", account),
+            "series": r.client_cpu.get(account, []),
+        }
+    return out
+
+
+def test_fig5_cpu_client(benchmark):
+    results = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    print("\n=== Figure 5: client-side user-level CPU (mean %, 5s windows) ===")
+    for setup, data in results.items():
+        series = "  ".join(f"{t:.0f}s:{pct:.1f}" for t, pct in data["series"][:10])
+        print(f"{setup:10s} mean={data['mean']:5.1f}%   {series}")
+    benchmark.extra_info["cpu_mean_pct"] = {
+        k: round(v["mean"], 2) for k, v in results.items()
+    }
+
+    means = {k: v["mean"] for k, v in results.items()}
+    assert means["gfs"] < 2.0, "plain proxy must be near-idle"
+    # HMAC adds a few percent; encryption adds more
+    assert means["gfs"] < means["sgfs-sha"] < means["sgfs-rc"] <= means["sgfs-aes"]
+    assert 1.5 < means["sgfs-sha"] < 7.0
+    assert 5.0 < means["sgfs-aes"] < 13.0
+    # SFS burns far more CPU than any SGFS configuration
+    assert means["sfs"] > 30.0
+    assert means["sfs"] > 2.5 * means["sgfs-aes"]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: mount a secure grid file system and use it.
+
+Builds the paper's testbed (client / NIST-Net router / file server) on
+the virtual clock, establishes an SGFS session secured with
+AES-256-CBC + SHA1-HMAC over GSI certificates, and performs ordinary
+file operations through the unmodified NFS client interface.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Testbed, setup_sgfs
+
+
+def main() -> None:
+    # A LAN testbed: ~0.3 ms RTT, no emulated WAN delay.
+    tb = Testbed.build(rtt=0.0)
+    mount = setup_sgfs(tb, suite="aes-256-cbc-sha1")
+    print(f"mounted {mount.label!r}; peer identity authenticated via GSI certificates")
+
+    def workload():
+        cl = mount.client
+        yield from cl.mkdir("/project")
+        yield from cl.write_file("/project/notes.txt", b"hello, secure grid\n" * 50)
+        data = yield from cl.read_file("/project/notes.txt")
+        assert data == b"hello, secure grid\n" * 50
+        attr = yield from cl.stat("/project/notes.txt")
+        entries = yield from cl.readdir("/project")
+        yield from cl.rename("/project/notes.txt", "/project/notes.old")
+        yield from cl.symlink("/project/latest", "notes.old")
+        target = yield from cl.readlink("/project/latest")
+        return attr.size, [e.name for e in entries], target
+
+    size, names, target = tb.run(workload())
+    wb_seconds, blocks, nbytes = tb.run(mount.finish())
+
+    print(f"file size: {size} bytes; directory: {names}; symlink -> {target}")
+    print(f"virtual time elapsed: {tb.sim.now:.4f} s")
+    print(f"RPCs issued by the kernel client: {mount.client.rpc.calls_sent}")
+    print(f"server proxy authorized {mount.server_proxy.stats.granted} calls")
+    print(f"teardown write-back: {blocks} blocks / {nbytes} bytes in {wb_seconds:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

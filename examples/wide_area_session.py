@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Wide-area data access: disk caching hides WAN latency (paper §6.2.2).
+
+Runs a PostMark-style small-file workload against native NFSv3 and
+against SGFS with aggressive disk caching, at emulated round-trip times
+from LAN to 80 ms, and prints the Figure-8-style series.  SGFS's curve
+stays nearly flat while native NFS degrades linearly with RTT.
+
+Run:  python examples/wide_area_session.py
+"""
+
+from repro.harness import run_postmark
+from repro.workloads.postmark import PostMarkConfig
+
+#: A reduced PostMark so the example runs in seconds.
+CONFIG = PostMarkConfig(directories=20, files=100, transactions=200)
+RTTS_MS = [0, 5, 10, 20, 40, 80]
+
+
+def main() -> None:
+    print(f"{'RTT':>6}  {'nfs-v3':>10}  {'sgfs':>10}  {'speedup':>8}")
+    for rtt_ms in RTTS_MS:
+        rtt = rtt_ms / 1000.0
+        nfs = run_postmark("nfs-v3", rtt=rtt, config=CONFIG)
+        sgfs = run_postmark(
+            "sgfs", rtt=rtt, config=CONFIG, setup_kwargs={"disk_cache": rtt_ms > 0}
+        )
+        speedup = nfs.total / sgfs.total
+        print(
+            f"{rtt_ms:>4}ms  {nfs.total:>9.2f}s  {sgfs.total:>9.2f}s  {speedup:>7.2f}x"
+        )
+    print("\nsgfs columns include GSI authentication and AES-256+SHA1 protection;")
+    print("the flat curve is the paper's Figure 8 story: the proxy disk cache")
+    print("absorbs reads, write-back absorbs writes, and only cold metadata")
+    print("crosses the WAN.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""SGFS: a user-level secure grid file system — full reproduction.
+
+Reproduces Zhao & Figueiredo, "A User-level Secure Grid File System"
+(SC'07) as a self-contained Python library over a deterministic
+discrete-event simulation.  Start at :mod:`repro.core` (testbeds and the
+eight evaluation setups), :mod:`repro.harness` (experiment runner), or
+``python -m repro`` (CLI).  DESIGN.md maps the paper onto the packages;
+EXPERIMENTS.md records paper-vs-measured for every figure.
+"""
+
+__version__ = "1.0.0"

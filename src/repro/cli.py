@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — the available setups, cipher suites and workloads,
+- ``info`` — the active calibration constants,
+- ``run`` — one workload on one setup at one RTT, with per-phase output,
+- ``figure`` — regenerate one of the paper's figures as a text table,
+- ``sweep`` — a workload across a list of RTTs for two setups
+  (Figure-8-style series for any workload).
+
+Everything prints virtual-time seconds from the deterministic simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.setups import SETUP_BUILDERS
+from repro.crypto.suites import SUITES
+from repro.harness import run_iozone, run_mab, run_postmark, run_seismic
+
+WORKLOAD_RUNNERS = {
+    "iozone": run_iozone,
+    "postmark": run_postmark,
+    "mab": run_mab,
+    "seismic": run_seismic,
+}
+
+FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SGFS (SC'07) reproduction — run simulated experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list setups, suites, workloads, figures")
+    sub.add_parser("info", help="show the calibration constants")
+
+    run_p = sub.add_parser("run", help="run one workload on one setup")
+    run_p.add_argument("--workload", choices=sorted(WORKLOAD_RUNNERS), required=True)
+    run_p.add_argument("--setup", choices=sorted(SETUP_BUILDERS), required=True)
+    run_p.add_argument("--rtt-ms", type=float, default=0.0,
+                       help="emulated WAN round-trip time (default: LAN)")
+    run_p.add_argument("--disk-cache", action="store_true",
+                       help="enable the proxy disk cache (proxied setups)")
+    run_p.add_argument("--cpu", action="store_true",
+                       help="also print proxy/daemon CPU utilization")
+
+    fig_p = sub.add_parser("figure", help="regenerate a figure of the paper")
+    fig_p.add_argument("name", choices=FIGURES)
+
+    sweep_p = sub.add_parser("sweep", help="one workload across RTTs, two setups")
+    sweep_p.add_argument("--workload", choices=sorted(WORKLOAD_RUNNERS),
+                         default="postmark")
+    sweep_p.add_argument("--baseline", choices=sorted(SETUP_BUILDERS),
+                         default="nfs-v3")
+    sweep_p.add_argument("--setup", choices=sorted(SETUP_BUILDERS), default="sgfs")
+    sweep_p.add_argument("--rtts-ms", default="5,10,20,40,80",
+                         help="comma-separated RTT list in milliseconds")
+    return parser
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def _cmd_list(out) -> int:
+    print("setups: ", ", ".join(sorted(SETUP_BUILDERS)), file=out)
+    print("suites: ", ", ".join(sorted(SUITES)), file=out)
+    print("workloads: ", ", ".join(sorted(WORKLOAD_RUNNERS)), file=out)
+    print("figures: ", ", ".join(FIGURES), file=out)
+    return 0
+
+
+def _cmd_info(out) -> int:
+    cal = DEFAULT_CALIBRATION
+    print("calibration (see repro/core/calibration.py):", file=out)
+    for name in (
+        "cpu_hz", "lan_link_latency", "lan_bandwidth", "client_cache_bytes",
+        "block_size", "read_ahead_blocks", "server_disk_access",
+        "cache_disk_access",
+    ):
+        print(f"  {name:20s} = {getattr(cal, name)}", file=out)
+    print(f"  kernel_client_cost   = {cal.kernel_client_cost}", file=out)
+    print(f"  kernel_server_cost   = {cal.kernel_server_cost}", file=out)
+    print(f"  proxy_cost           = {cal.proxy_cost}", file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    runner = WORKLOAD_RUNNERS[args.workload]
+    kwargs = {}
+    if args.disk_cache:
+        if args.setup in ("nfs-v3", "nfs-v4"):
+            print("error: --disk-cache applies only to proxied setups", file=out)
+            return 2
+        kwargs["disk_cache"] = True
+    result = runner(args.setup, rtt=args.rtt_ms / 1000.0, setup_kwargs=kwargs or None)
+    rtt_label = "LAN" if args.rtt_ms == 0 else f"{args.rtt_ms:g}ms RTT"
+    print(f"{args.workload} on {args.setup} ({rtt_label})", file=out)
+    for phase, seconds in result.phases.items():
+        print(f"  {phase:12s} {seconds:10.3f}s", file=out)
+    if result.writeback_seconds:
+        print(f"  {'write-back':12s} {result.writeback_seconds:10.3f}s "
+              f"({result.writeback_bytes} bytes)", file=out)
+    if args.cpu:
+        for side in ("client", "server"):
+            for account in ("proxy", "sfsd", "sfssd", "ssh", "sshd"):
+                pct = result.cpu_mean(side, account)
+                if pct > 0:
+                    print(f"  cpu[{side}:{account}] = {pct:.1f}%", file=out)
+    return 0
+
+
+def _cmd_figure(name: str, out) -> int:
+    MB = 1024 * 1024
+    iozone_kw = dict(file_size=4 * MB, setup_kwargs={"cache_bytes": 2 * MB})
+    if name == "fig4":
+        print("Figure 4: IOzone runtime, LAN", file=out)
+        for setup in ("nfs-v3", "nfs-v4", "sfs", "gfs", "sgfs-sha",
+                      "sgfs-rc", "sgfs-aes", "gfs-ssh"):
+            r = run_iozone(setup, rtt=0.0, **iozone_kw)
+            print(f"  {setup:10s} {r.total:8.3f}s", file=out)
+    elif name in ("fig5", "fig6"):
+        side = "client" if name == "fig5" else "server"
+        print(f"Figure {name[-1]}: IOzone {side}-side user-level CPU", file=out)
+        for setup in ("gfs", "sgfs-sha", "sgfs-rc", "sgfs-aes", "sfs"):
+            r = run_iozone(setup, rtt=0.0, **iozone_kw)
+            account = ("sfsd" if side == "client" else "sfssd") if setup == "sfs" else "proxy"
+            print(f"  {setup:10s} {r.cpu_mean(side, account):6.1f}%", file=out)
+    elif name == "fig7":
+        print("Figure 7: PostMark phases, LAN", file=out)
+        for setup in ("nfs-v3", "nfs-v4", "sfs", "sgfs", "gfs-ssh"):
+            r = run_postmark(setup, rtt=0.0)
+            ph = r.phases
+            print(f"  {setup:10s} creation={ph['creation']:7.2f}s "
+                  f"transaction={ph['transaction']:7.2f}s "
+                  f"deletion={ph['deletion']:6.2f}s", file=out)
+    elif name == "fig8":
+        print("Figure 8: PostMark total vs RTT", file=out)
+        for rtt_ms in (5, 10, 20, 40, 80):
+            n = run_postmark("nfs-v3", rtt=rtt_ms / 1000.0)
+            s = run_postmark("sgfs", rtt=rtt_ms / 1000.0,
+                             setup_kwargs={"disk_cache": True})
+            print(f"  {rtt_ms:3d}ms  nfs-v3={n.total:8.1f}s  sgfs={s.total:8.1f}s "
+                  f"({n.total / s.total:.2f}x)", file=out)
+    elif name == "fig9":
+        print("Figure 9: MAB phases, LAN + 40ms WAN", file=out)
+        for setup, rtt, kw in (
+            ("nfs-v3", 0.0, None), ("sgfs", 0.0, None),
+            ("nfs-v3", 0.040, None), ("sgfs", 0.040, {"disk_cache": True}),
+        ):
+            r = run_mab(setup, rtt=rtt, setup_kwargs=kw)
+            env = "LAN" if rtt == 0 else "WAN"
+            ph = r.phases
+            print(f"  {setup:7s} {env}  copy={ph['copy']:7.1f} stat={ph['stat']:6.1f} "
+                  f"search={ph['search']:6.1f} compile={ph['compile']:8.1f} "
+                  f"wb={r.writeback_seconds:5.1f}", file=out)
+    elif name == "fig10":
+        print("Figure 10: Seismic phases, LAN + 40ms WAN", file=out)
+        for setup, rtt, kw in (
+            ("nfs-v3", 0.0, None), ("sgfs", 0.0, None),
+            ("nfs-v3", 0.040, None), ("sgfs", 0.040, {"disk_cache": True}),
+        ):
+            r = run_seismic(setup, rtt=rtt, setup_kwargs=kw)
+            env = "LAN" if rtt == 0 else "WAN"
+            ph = r.phases
+            print(f"  {setup:7s} {env}  p1={ph['phase1']:6.1f} p2={ph['phase2']:7.1f} "
+                  f"p3={ph['phase3']:5.1f} p4={ph['phase4']:6.1f} "
+                  f"wb={r.writeback_seconds:5.1f}", file=out)
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    runner = WORKLOAD_RUNNERS[args.workload]
+    try:
+        rtts = [float(x) for x in args.rtts_ms.split(",") if x.strip()]
+    except ValueError:
+        print(f"error: bad RTT list {args.rtts_ms!r}", file=out)
+        return 2
+    print(f"{args.workload}: {args.baseline} vs {args.setup}", file=out)
+    for rtt_ms in rtts:
+        rtt = rtt_ms / 1000.0
+        base = runner(args.baseline, rtt=rtt)
+        kw = {"disk_cache": True} if args.setup not in ("nfs-v3", "nfs-v4") else None
+        other = runner(args.setup, rtt=rtt, setup_kwargs=kw)
+        print(f"  {rtt_ms:6.1f}ms  {base.total:10.2f}s  {other.total:10.2f}s  "
+              f"{base.total / other.total:6.2f}x", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "info":
+        return _cmd_info(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "figure":
+        return _cmd_figure(args.name, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Core API: testbeds, calibration, and the eight file-system setups.
+
+This package is the public face of the library.  A typical experiment::
+
+    from repro.core import Testbed, setup_sgfs
+
+    tb = Testbed.build(rtt=0.040)          # 40 ms emulated WAN
+    mount = setup_sgfs(tb, suite="aes-256-cbc-sha1", disk_cache=True)
+
+    def job():
+        yield from mount.client.write_file("/data/out.bin", payload)
+        ...
+
+    tb.run(job())
+    mount.finish()                          # drain + write-back
+
+Setups mirror §6.1 of the paper: ``nfs-v3``, ``nfs-v4``, ``gfs``,
+``gfs-ssh``, ``sfs``, and ``sgfs`` with per-session cipher-suite choice.
+"""
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.topology import Testbed
+from repro.core.setups import (
+    Mount,
+    setup_nfs_v3,
+    setup_nfs_v4,
+    setup_gfs,
+    setup_gfs_ssh,
+    setup_sfs,
+    setup_sgfs,
+    SETUP_BUILDERS,
+)
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "Testbed",
+    "Mount",
+    "setup_nfs_v3",
+    "setup_nfs_v4",
+    "setup_gfs",
+    "setup_gfs_ssh",
+    "setup_sfs",
+    "setup_sgfs",
+    "SETUP_BUILDERS",
+]

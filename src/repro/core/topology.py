@@ -1,0 +1,131 @@
+"""Testbed: the client / router / server topology of §6.1.
+
+``Testbed.build(rtt=...)`` assembles the simulator, the three network
+nodes (compute client, NIST-Net-style delay router, file server), the
+exported VirtualFS with its disk, the kernel NFS server, and the account
+databases — everything the eight setups build on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.net import DelayRouter, Host, Network
+from repro.nfs.server import NfsServerProgram
+from repro.proxy.accounts import Account, AccountsDb
+from repro.rpc.server import RpcServer
+from repro.sim import Simulator
+from repro.vfs import DiskModel, VirtualFS
+
+#: Well-known ports on the simulated hosts.
+NFS_PORT = 2049
+SERVER_PROXY_PORT = 4444
+CLIENT_PROXY_PORT = 4445
+SSH_TUNNEL_PORT = 4422
+SSH_LOCAL_PORT = 4423
+SFS_PORT = 4446
+
+
+@dataclass
+class Testbed:
+    """A built testbed ready for setups and workloads."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    sim: Simulator
+    net: Network
+    client: Host
+    server: Host
+    router: DelayRouter
+    fs: VirtualFS
+    server_disk: DiskModel
+    nfs_program: NfsServerProgram
+    nfs_rpc_server: RpcServer
+    server_accounts: AccountsDb
+    client_accounts: AccountsDb
+    cal: Calibration
+    _port_alloc: "itertools.count" = field(default_factory=lambda: itertools.count(20000))
+
+    @classmethod
+    def build(
+        cls,
+        rtt: float = 0.0,
+        cal: Calibration = DEFAULT_CALIBRATION,
+        export_owner: str = "ming",
+        export_uid: int = 901,
+    ) -> "Testbed":
+        """Create the §6.1 topology.
+
+        ``rtt`` is the NIST-Net-emulated round-trip time *added* by the
+        router (0 for the LAN runs; the base LAN RTT of ~0.3 ms comes
+        from the links themselves).
+        """
+        sim = Simulator()
+        net = Network(sim)
+        client = Host(sim, net, "client")
+        server = Host(sim, net, "server")
+        router = DelayRouter(sim, net, "router", one_way_delay=rtt / 2.0)
+        net.connect("client", "router", latency=cal.lan_link_latency,
+                    bandwidth=cal.lan_bandwidth)
+        net.connect("router", "server", latency=cal.lan_link_latency,
+                    bandwidth=cal.lan_bandwidth)
+
+        # The exported filesystem /GFS, owned by the management account.
+        fs = VirtualFS(clock=lambda: sim.now, root_uid=export_uid,
+                       root_gid=export_uid, root_mode=0o755)
+        server_disk = DiskModel(
+            sim, name="server-disk",
+            access_latency=cal.server_disk_access,
+            read_bandwidth=cal.server_disk_read_bw,
+            write_bandwidth=cal.server_disk_write_bw,
+        )
+        nfs_program = NfsServerProgram(sim, fs, server_disk)
+        nfs_rpc_server = RpcServer(
+            sim, cpu=server.cpu, cost=cal.kernel_server_cost, account="kernel-nfs",
+            name="nfsd",
+        )
+        nfs_rpc_server.register(nfs_program)
+        from repro.nfs.v4 import NfsV4ServerProgram
+
+        nfs_rpc_server.register(
+            NfsV4ServerProgram(sim, fs, server_disk,
+                               compound_overhead=cal.v4_compound_overhead)
+        )
+        nfs_rpc_server.serve_listener(server.listen(NFS_PORT))
+
+        server_accounts = AccountsDb()
+        server_accounts.add(Account(export_owner, export_uid, export_uid))
+        client_accounts = AccountsDb()
+
+        return cls(
+            sim=sim, net=net, client=client, server=server, router=router,
+            fs=fs, server_disk=server_disk, nfs_program=nfs_program,
+            nfs_rpc_server=nfs_rpc_server,
+            server_accounts=server_accounts, client_accounts=client_accounts,
+            cal=cal,
+        )
+
+    # -- conveniences ------------------------------------------------------------
+
+    def alloc_port(self) -> int:
+        return next(self._port_alloc)
+
+    def set_rtt(self, rtt: float) -> None:
+        """Reconfigure the emulated WAN RTT (re-running NIST Net)."""
+        self.router.set_rtt(rtt)
+
+    @property
+    def measured_rtt(self) -> float:
+        return self.net.rtt("client", "server")
+
+    def run(self, generator, name: str = "workload"):
+        """Spawn a process and run the simulation until it completes."""
+        proc = self.sim.spawn(generator, name=name)
+        return self.sim.run_until_complete(proc)
+
+    def run_all(self) -> float:
+        """Drain every pending event; returns the final virtual time."""
+        return self.sim.run()

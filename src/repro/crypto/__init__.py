@@ -1,0 +1,42 @@
+"""Cryptographic primitives.
+
+Everything the secure channel, GSI layer and management services need,
+implemented from scratch (no OpenSSL available in this environment):
+
+- :mod:`repro.crypto.aes` — FIPS-197 AES with CBC mode,
+- :mod:`repro.crypto.rc4` — the ARCFOUR stream cipher,
+- :mod:`repro.crypto.hmac` — FIPS-198 HMAC over hashlib digests,
+- :mod:`repro.crypto.padding` — PKCS#7,
+- :mod:`repro.crypto.rsa` — RSA keygen / sign / verify / key transport,
+- :mod:`repro.crypto.drbg` — a deterministic byte generator, so entire
+  simulations (including handshakes) are replayable,
+- :mod:`repro.crypto.suites` — cipher-suite objects pairing a bulk
+  cipher with a MAC, in two grades: *real* (bit-exact AES/RC4, used by
+  unit/integration tests) and *fast* (a cheap keyed XOR transform that
+  still round-trips and garbles, used for bulk benchmark traffic while
+  the virtual-CPU cost of the *named* algorithm is charged — pure-Python
+  AES at ~50 KB/s cannot carry gigabyte experiments).
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.rc4 import RC4
+from repro.crypto.hmac import hmac_digest, hmac_sha1, hmac_sha256
+from repro.crypto.padding import pkcs7_pad, pkcs7_unpad, PaddingError
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair, CryptoError
+from repro.crypto.drbg import Drbg
+
+__all__ = [
+    "AES",
+    "RC4",
+    "hmac_digest",
+    "hmac_sha1",
+    "hmac_sha256",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "PaddingError",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "generate_keypair",
+    "CryptoError",
+    "Drbg",
+]

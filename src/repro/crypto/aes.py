@@ -1,0 +1,214 @@
+"""AES (FIPS-197) with CBC mode, implemented from first principles.
+
+Supports 128/192/256-bit keys.  The implementation favors clarity over
+speed — the S-box is generated from the GF(2^8) definition at import
+time, and rounds operate on a 16-byte state list.  Verified against the
+FIPS-197 appendix vectors and NIST CBC vectors in the test suite.
+
+This is the *reference* cipher: the benchmark path uses the fast engines
+in :mod:`repro.crypto.suites` and charges AES's calibrated per-byte CPU
+cost instead of executing this code over gigabytes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    p = 0
+    while b:
+        if b & 1:
+            p ^= a
+        a = _xtime(a)
+        b >>= 1
+    return p
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverses in GF(2^8) via exp/log tables on generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = _gmul(x, 3)
+    exp[255] = exp[0]
+
+    def inv(a: int) -> int:
+        return 0 if a == 0 else exp[255 - log[a]]
+
+    sbox = bytearray(256)
+    for a in range(256):
+        q = inv(a)
+        # affine transform
+        s = q
+        for _ in range(4):
+            q = ((q << 1) | (q >> 7)) & 0xFF
+            s ^= q
+        sbox[a] = s ^ 0x63
+    inv_sbox = bytearray(256)
+    for i, v in enumerate(sbox):
+        inv_sbox[v] = i
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+
+class AES:
+    """AES block cipher plus CBC helpers.
+
+    ``AES(key)`` expands the key once; :meth:`encrypt_block` /
+    :meth:`decrypt_block` process 16-byte blocks; the CBC helpers chain
+    them with an IV (no padding — callers pad with PKCS#7).
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key_len = len(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule ----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        nr = self.rounds
+        words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group into 16-byte round keys (column-major state layout).
+        return [
+            [b for w in words[4 * r : 4 * r + 4] for b in w] for r in range(nr + 1)
+        ]
+
+    # -- round operations (state is a flat 16-list, column-major) ---------
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int], box: bytes) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # state[c*4 + r]; row r shifts left by r
+        s = state
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        s = state
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            i = 4 * c
+            a0, a1, a2, a3 = state[i], state[i + 1], state[i + 2], state[i + 3]
+            state[i] = _gmul(a0, 2) ^ _gmul(a1, 3) ^ a2 ^ a3
+            state[i + 1] = a0 ^ _gmul(a1, 2) ^ _gmul(a2, 3) ^ a3
+            state[i + 2] = a0 ^ a1 ^ _gmul(a2, 2) ^ _gmul(a3, 3)
+            state[i + 3] = _gmul(a0, 3) ^ a1 ^ a2 ^ _gmul(a3, 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            i = 4 * c
+            a0, a1, a2, a3 = state[i], state[i + 1], state[i + 2], state[i + 3]
+            state[i] = _gmul(a0, 14) ^ _gmul(a1, 11) ^ _gmul(a2, 13) ^ _gmul(a3, 9)
+            state[i + 1] = _gmul(a0, 9) ^ _gmul(a1, 14) ^ _gmul(a2, 11) ^ _gmul(a3, 13)
+            state[i + 2] = _gmul(a0, 13) ^ _gmul(a1, 9) ^ _gmul(a2, 14) ^ _gmul(a3, 11)
+            state[i + 3] = _gmul(a0, 11) ^ _gmul(a1, 13) ^ _gmul(a2, 9) ^ _gmul(a3, 14)
+
+    # -- block API ---------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            self._sub_bytes(state, SBOX)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state, SBOX)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._sub_bytes(state, INV_SBOX)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._sub_bytes(state, INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    # -- CBC mode ------------------------------------------------------------
+
+    def cbc_encrypt(self, iv: bytes, plaintext: bytes) -> bytes:
+        if len(iv) != 16:
+            raise ValueError("IV must be 16 bytes")
+        if len(plaintext) % 16:
+            raise ValueError("CBC plaintext must be block-aligned (pad first)")
+        out = bytearray()
+        prev = iv
+        for i in range(0, len(plaintext), 16):
+            block = bytes(x ^ y for x, y in zip(plaintext[i : i + 16], prev))
+            prev = self.encrypt_block(block)
+            out.extend(prev)
+        return bytes(out)
+
+    def cbc_decrypt(self, iv: bytes, ciphertext: bytes) -> bytes:
+        if len(iv) != 16:
+            raise ValueError("IV must be 16 bytes")
+        if len(ciphertext) % 16:
+            raise ValueError("CBC ciphertext must be block-aligned")
+        out = bytearray()
+        prev = iv
+        for i in range(0, len(ciphertext), 16):
+            block = ciphertext[i : i + 16]
+            out.extend(x ^ y for x, y in zip(self.decrypt_block(block), prev))
+            prev = block
+        return bytes(out)

@@ -1,0 +1,43 @@
+"""HMAC per FIPS PUB 198 / RFC 2104, built directly on hashlib digests.
+
+Implemented from the definition (ipad/opad construction) rather than via
+``import hmac`` so the construction itself is under test — the paper's
+integrity guarantee for every SGFS configuration rests on SHA1-HMAC.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+
+def hmac_digest(key: bytes, message: bytes, hash_name: str = "sha1") -> bytes:
+    """HMAC(key, message) with the named hashlib algorithm."""
+    h: Callable = lambda data=b"": hashlib.new(hash_name, data)
+    block_size = h().block_size
+    if len(key) > block_size:
+        key = h(key).digest()
+    key = key.ljust(block_size, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    inner = h(ipad + message).digest()
+    return h(opad + inner).digest()
+
+
+def hmac_sha1(key: bytes, message: bytes) -> bytes:
+    """SHA1-HMAC — the integrity algorithm of every SGFS configuration."""
+    return hmac_digest(key, message, "sha1")
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    return hmac_digest(key, message, "sha256")
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Length-then-accumulate comparison without early exit."""
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0

@@ -1,0 +1,25 @@
+"""PKCS#7 block padding (RFC 5652 §6.3) for the CBC cipher suites."""
+
+from __future__ import annotations
+
+
+class PaddingError(Exception):
+    """Invalid padding on decrypt — treated as a MAC-equivalent failure."""
+
+
+def pkcs7_pad(data: bytes, block_size: int = 16) -> bytes:
+    if not 1 <= block_size <= 255:
+        raise ValueError("block size must be 1..255")
+    n = block_size - (len(data) % block_size)
+    return data + bytes([n]) * n
+
+
+def pkcs7_unpad(data: bytes, block_size: int = 16) -> bytes:
+    if not data or len(data) % block_size:
+        raise PaddingError("padded data must be a whole number of blocks")
+    n = data[-1]
+    if n < 1 or n > block_size:
+        raise PaddingError(f"bad pad byte {n}")
+    if data[-n:] != bytes([n]) * n:
+        raise PaddingError("inconsistent padding bytes")
+    return data[:-n]

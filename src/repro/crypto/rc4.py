@@ -1,0 +1,40 @@
+"""RC4 (ARCFOUR) stream cipher.
+
+The "medium-strength" cipher of the paper's ``sgfs-rc`` configuration
+and the cipher SFS's channel approximates.  Stateful: one instance per
+direction of a connection, like any stream cipher.
+"""
+
+from __future__ import annotations
+
+
+class RC4:
+    """Stateful RC4 keystream; ``process`` both encrypts and decrypts."""
+
+    def __init__(self, key: bytes):
+        if not 1 <= len(key) <= 256:
+            raise ValueError("RC4 key must be 1..256 bytes")
+        S = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + S[i] + key[i % len(key)]) & 0xFF
+            S[i], S[j] = S[j], S[i]
+        self._S = S
+        self._i = 0
+        self._j = 0
+
+    def process(self, data: bytes) -> bytes:
+        S = self._S
+        i, j = self._i, self._j
+        out = bytearray(len(data))
+        for k, byte in enumerate(data):
+            i = (i + 1) & 0xFF
+            j = (j + S[i]) & 0xFF
+            S[i], S[j] = S[j], S[i]
+            out[k] = byte ^ S[(S[i] + S[j]) & 0xFF]
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def skip(self, n: int) -> None:
+        """Discard n keystream bytes (RC4-drop, mitigates key-schedule bias)."""
+        self.process(b"\x00" * n)

@@ -1,0 +1,209 @@
+"""Cipher suites: bulk cipher + MAC pairings used by the secure channel.
+
+Each suite names a bulk cipher spec and a MAC spec.  A spec carries:
+
+- the *real* implementation (bit-exact AES/RC4 from this package), and
+- a nominal cost in CPU cycles/byte, which the secure channel charges to
+  the host's virtual CPU.  The cycles/byte figures are 2007-era software
+  numbers (no AES-NI), and are what make the paper's measured security
+  overheads (+9 % HMAC-only, +15 % RC4, +50 % AES-256) emerge rather
+  than being hard-coded.
+
+``fast=True`` states substitute the bulk transform with a keyed XOR pad
+(numpy-accelerated) while keeping the *real* SHA1-HMAC and the *named*
+algorithm's CPU cost: pure-Python AES moves ~50 KB/s, which cannot carry
+the gigabyte-scale IOzone experiment.  Integration tests run the real
+ciphers end-to-end; benchmarks run fast states.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.aes import AES
+from repro.crypto.rc4 import RC4
+from repro.crypto.hmac import hmac_digest
+from repro.crypto.padding import pkcs7_pad, pkcs7_unpad
+
+
+class CipherStateBase:
+    """Per-direction bulk cipher state."""
+
+    def encrypt(self, data: bytes) -> bytes:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def decrypt(self, data: bytes) -> bytes:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NullCipherState(CipherStateBase):
+    """Integrity-only configurations carry plaintext."""
+
+    def encrypt(self, data: bytes) -> bytes:
+        return data
+
+    def decrypt(self, data: bytes) -> bytes:
+        return data
+
+
+class Rc4State(CipherStateBase):
+    """Real RC4 with independent send/recv streams handled by the caller."""
+
+    def __init__(self, key: bytes):
+        self._enc = RC4(key)
+        self._dec = RC4(key)
+        self._enc.skip(768)
+        self._dec.skip(768)
+
+    def encrypt(self, data: bytes) -> bytes:
+        return self._enc.process(data)
+
+    def decrypt(self, data: bytes) -> bytes:
+        return self._dec.process(data)
+
+
+class AesCbcState(CipherStateBase):
+    """Real AES-CBC with PKCS#7 padding and chained IVs (TLS-1.0 style)."""
+
+    def __init__(self, key: bytes, iv: bytes):
+        self._aes = AES(key)
+        self._enc_iv = iv
+        self._dec_iv = iv
+
+    def encrypt(self, data: bytes) -> bytes:
+        ct = self._aes.cbc_encrypt(self._enc_iv, pkcs7_pad(data, 16))
+        self._enc_iv = ct[-16:]
+        return ct
+
+    def decrypt(self, data: bytes) -> bytes:
+        pt = pkcs7_unpad(self._aes.cbc_decrypt(self._dec_iv, data), 16)
+        self._dec_iv = data[-16:]
+        return pt
+
+
+class FastXorState(CipherStateBase):
+    """Keyed XOR pad stand-in for bulk benchmark traffic.
+
+    Deterministic per key/iv, round-trips exactly, garbles plaintext —
+    but is NOT cryptographically secure and exists purely so gigabyte
+    experiments do not execute pure-Python AES.  The virtual CPU is
+    still charged the named algorithm's cost by the record layer.
+    """
+
+    PAD_LEN = 1 << 16
+
+    def __init__(self, key: bytes, iv: bytes):
+        seed = int.from_bytes(hashlib.sha256(key + iv).digest()[:8], "big")
+        rng = np.random.Generator(np.random.PCG64(seed))
+        self._pad = rng.integers(0, 256, size=self.PAD_LEN, dtype=np.uint8)
+        self._enc_off = 0
+        self._dec_off = 0
+
+    def _xor(self, data: bytes, off: int) -> tuple[bytes, int]:
+        n = len(data)
+        start = off % self.PAD_LEN
+        reps = (start + n + self.PAD_LEN - 1) // self.PAD_LEN
+        keystream = np.tile(self._pad, reps)[start : start + n]
+        out = np.bitwise_xor(np.frombuffer(data, dtype=np.uint8), keystream)
+        return out.tobytes(), off + n
+
+    def encrypt(self, data: bytes) -> bytes:
+        out, self._enc_off = self._xor(data, self._enc_off)
+        return out
+
+    def decrypt(self, data: bytes) -> bytes:
+        out, self._dec_off = self._xor(data, self._dec_off)
+        return out
+
+
+@dataclass(frozen=True)
+class CipherSpec:
+    """Names a bulk cipher and its cost/keying parameters."""
+
+    name: str
+    key_len: int
+    iv_len: int
+    cycles_per_byte: float
+
+    def new_state(self, key: bytes, iv: bytes, fast: bool) -> CipherStateBase:
+        if len(key) != self.key_len:
+            raise ValueError(f"{self.name}: key must be {self.key_len} bytes")
+        if self.name == "null":
+            return NullCipherState()
+        if fast:
+            return FastXorState(key, iv or b"\x00")
+        if self.name == "rc4-128":
+            return Rc4State(key)
+        if self.name == "aes-256-cbc":
+            return AesCbcState(key, iv)
+        raise ValueError(f"unknown cipher {self.name}")
+
+
+@dataclass(frozen=True)
+class MacSpec:
+    name: str
+    key_len: int
+    digest_len: int
+    cycles_per_byte: float
+
+    def compute(self, key: bytes, message: bytes) -> bytes:
+        if self.name == "none":
+            return b""
+        algo = self.name.split("-", 1)[1]  # "hmac-sha1" -> "sha1"
+        return hmac_digest(key, message, algo)
+
+
+NULL_CIPHER = CipherSpec("null", 0, 0, 0.0)
+RC4_128 = CipherSpec("rc4-128", 16, 0, 7.0)
+AES_256_CBC = CipherSpec("aes-256-cbc", 32, 16, 46.0)
+
+NO_MAC = MacSpec("none", 0, 0, 0.0)
+HMAC_SHA1 = MacSpec("hmac-sha1", 20, 20, 8.0)
+HMAC_SHA256 = MacSpec("hmac-sha256", 32, 32, 14.0)
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """A named (cipher, MAC) pairing selectable per SGFS session."""
+
+    name: str
+    cipher: CipherSpec
+    mac: MacSpec
+
+    @property
+    def cycles_per_byte(self) -> float:
+        return self.cipher.cycles_per_byte + self.mac.cycles_per_byte
+
+    @property
+    def key_material_len(self) -> int:
+        # two directions each need cipher key + iv + mac key
+        return 2 * (self.cipher.key_len + self.cipher.iv_len + self.mac.key_len)
+
+
+#: The suite menu of the evaluation (§6.2.1).
+SUITE_NULL_SHA = CipherSuite("null-sha1", NULL_CIPHER, HMAC_SHA1)       # sgfs-sha
+SUITE_RC4_SHA = CipherSuite("rc4-128-sha1", RC4_128, HMAC_SHA1)         # sgfs-rc
+SUITE_AES_SHA = CipherSuite("aes-256-cbc-sha1", AES_256_CBC, HMAC_SHA1)  # sgfs-aes
+SUITE_PLAIN = CipherSuite("plaintext", NULL_CIPHER, NO_MAC)             # handshake bootstrap
+
+SUITES = {
+    s.name: s
+    for s in (SUITE_NULL_SHA, SUITE_RC4_SHA, SUITE_AES_SHA, SUITE_PLAIN)
+}
+
+
+def derive_key_block(master_secret: bytes, label: str, n: int) -> bytes:
+    """TLS-PRF-like expansion: HMAC-SHA256 counter mode over the secret."""
+    out = b""
+    counter = 0
+    seed = label.encode("utf-8")
+    while len(out) < n:
+        out += hmac_digest(
+            master_secret, seed + counter.to_bytes(4, "big"), "sha256"
+        )
+        counter += 1
+    return out[:n]

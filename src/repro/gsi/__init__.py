@@ -1,0 +1,30 @@
+"""GSI-style PKI: identities, certificates, delegation, gridmaps.
+
+Implements the trust model of the Grid Security Infrastructure the paper
+conforms to: X.509-style certificates binding a distinguished name to an
+RSA public key, signed by a certificate authority; *proxy certificates*
+signed by a user's key for delegation (a service acts on the user's
+behalf); chain validation up to a set of trusted CAs; and gridmap files
+mapping grid identities to local accounts.
+
+Certificates use this package's own canonical serialization rather than
+ASN.1/DER — the encoding is irrelevant to every behaviour the paper
+measures or relies on (see DESIGN.md substitution table).
+"""
+
+from repro.gsi.names import DistinguishedName
+from repro.gsi.certs import Certificate, CertificateAuthority, CertError, ValidationError
+from repro.gsi.proxy import issue_proxy_certificate, effective_identity
+from repro.gsi.gridmap import Gridmap, GridmapError
+
+__all__ = [
+    "DistinguishedName",
+    "Certificate",
+    "CertificateAuthority",
+    "CertError",
+    "ValidationError",
+    "issue_proxy_certificate",
+    "effective_identity",
+    "Gridmap",
+    "GridmapError",
+]

@@ -1,0 +1,93 @@
+"""Gridmap files: per-filesystem access control (paper §4.3).
+
+A gridmap maps a grid identity (distinguished name) to a local account
+name.  If a mapping exists, the grid user gains the mapped local user's
+access rights to the exported filesystem; otherwise the session's policy
+decides between an anonymous mapping and outright denial.  SGFS keeps a
+gridmap *per session*, which is what makes ad-hoc sharing one-line cheap
+("add the other user's DN to your session's gridmap").
+
+The text format matches GSI's::
+
+    "/C=US/O=UFL/CN=Ming Zhao" ming
+    "/C=US/O=UFL/CN=Guest User" anonymous
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.gsi.names import DistinguishedName
+
+
+class GridmapError(Exception):
+    """Malformed gridmap text."""
+
+
+class UnmappedPolicy(Enum):
+    """What to do with an authenticated user that has no mapping."""
+
+    DENY = "deny"
+    ANONYMOUS = "anonymous"
+
+
+@dataclass
+class Gridmap:
+    """DN-string -> local account mapping with an unmapped-user policy."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+    unmapped: UnmappedPolicy = UnmappedPolicy.DENY
+    anonymous_account: str = "nobody"
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, unmapped: UnmappedPolicy = UnmappedPolicy.DENY) -> "Gridmap":
+        entries: Dict[str, str] = {}
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not line.startswith('"'):
+                raise GridmapError(f"line {lineno}: DN must be quoted")
+            try:
+                end = line.index('"', 1)
+            except ValueError:
+                raise GridmapError(f"line {lineno}: unterminated DN quote") from None
+            dn_text = line[1:end]
+            account = line[end + 1 :].strip()
+            if not account or " " in account:
+                raise GridmapError(f"line {lineno}: bad account {account!r}")
+            DistinguishedName.parse(dn_text)  # validate
+            entries[dn_text] = account
+        return cls(entries=entries, unmapped=unmapped)
+
+    def dump(self) -> str:
+        return "\n".join(f'"{dn}" {acct}' for dn, acct in sorted(self.entries.items()))
+
+    # -- mutation (per-session sharing) --------------------------------------
+
+    def add(self, dn: DistinguishedName, account: str) -> None:
+        self.entries[str(dn)] = account
+
+    def remove(self, dn: DistinguishedName) -> None:
+        self.entries.pop(str(dn), None)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, dn: DistinguishedName) -> Optional[str]:
+        """The local account for ``dn``, or None meaning *deny*.
+
+        Applies the unmapped policy for unknown DNs.
+        """
+        account = self.entries.get(str(dn))
+        if account is not None:
+            return account
+        if self.unmapped is UnmappedPolicy.ANONYMOUS:
+            return self.anonymous_account
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)

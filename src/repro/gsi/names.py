@@ -1,0 +1,82 @@
+"""X.500-style distinguished names.
+
+Grid identities are DNs like ``/C=US/O=UFL/OU=ACIS/CN=Ming Zhao``.  The
+gridmap and ACL mechanisms key on the exact string form, so parsing and
+formatting must round-trip byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+_ALLOWED_KEYS = ("C", "ST", "L", "O", "OU", "CN", "UID", "DC", "emailAddress")
+
+
+class DnError(ValueError):
+    """Malformed distinguished name."""
+
+
+@dataclass(frozen=True)
+class DistinguishedName:
+    """An ordered sequence of (attribute, value) pairs."""
+
+    rdns: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.rdns:
+            raise DnError("empty distinguished name")
+        for key, value in self.rdns:
+            if key not in _ALLOWED_KEYS:
+                raise DnError(f"unknown DN attribute {key!r}")
+            if not value or "/" in value or "=" in value or "\n" in value:
+                raise DnError(f"bad DN value {value!r} for {key}")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "DistinguishedName":
+        """Parse the slash form: ``/C=US/O=Grid/CN=Alice``."""
+        if not text.startswith("/"):
+            raise DnError(f"DN must start with '/': {text!r}")
+        rdns = []
+        for part in text[1:].split("/"):
+            if "=" not in part:
+                raise DnError(f"bad RDN {part!r} in {text!r}")
+            key, _, value = part.partition("=")
+            rdns.append((key.strip(), value.strip()))
+        return cls(tuple(rdns))
+
+    @classmethod
+    def make(cls, **fields: str) -> "DistinguishedName":
+        """Build in canonical C/O/OU/CN order from keywords."""
+        order = {k: i for i, k in enumerate(_ALLOWED_KEYS)}
+        rdns = sorted(fields.items(), key=lambda kv: order[kv[0]])
+        return cls(tuple(rdns))
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def common_name(self) -> str:
+        for key, value in reversed(self.rdns):
+            if key == "CN":
+                return value
+        raise DnError(f"DN {self} has no CN")
+
+    def child(self, key: str, value: str) -> "DistinguishedName":
+        """Append one RDN — how proxy-certificate subjects are formed."""
+        return DistinguishedName(self.rdns + ((key, value),))
+
+    def parent(self) -> "DistinguishedName":
+        if len(self.rdns) < 2:
+            raise DnError("DN has no parent")
+        return DistinguishedName(self.rdns[:-1])
+
+    def is_prefix_of(self, other: "DistinguishedName") -> bool:
+        return len(self.rdns) <= len(other.rdns) and other.rdns[: len(self.rdns)] == self.rdns
+
+    def __str__(self) -> str:
+        return "".join(f"/{k}={v}" for k, v in self.rdns)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DN({str(self)!r})"

@@ -1,0 +1,62 @@
+"""Proxy certificates: GSI delegation.
+
+A user delegates by generating a fresh keypair and signing — with the
+user's own key — a short-lived certificate whose subject extends the
+user's DN with ``CN=proxy``.  A service holding the proxy credential can
+then authenticate *as the user* without ever touching the user's
+long-term key.  This is how the DSS creates SGFS sessions on a user's
+behalf (paper §3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Optional
+
+from repro.crypto.drbg import Drbg
+from repro.crypto.rsa import generate_keypair
+from repro.gsi.certs import Certificate, Credential, _serial_counter
+from repro.gsi.names import DistinguishedName
+
+#: Default proxy lifetime: 12 hours, the globus-style default.
+DEFAULT_PROXY_LIFETIME = 12 * 3600.0
+
+
+def issue_proxy_certificate(
+    user: Credential,
+    now: float,
+    lifetime: float = DEFAULT_PROXY_LIFETIME,
+    rng: Optional[Drbg] = None,
+    key_bits: int = 1024,
+) -> Credential:
+    """Create a delegated proxy credential signed by ``user``'s key.
+
+    The resulting credential chains: proxy cert -> user cert -> CA.
+    """
+    rng = rng or Drbg(f"proxy:{user.dn}:{now}")
+    proxy_keys = generate_keypair(key_bits, rng)
+    subject = user.dn.child("CN", "proxy")
+    cert = Certificate(
+        subject=subject,
+        issuer=user.dn,
+        public_key=proxy_keys.public,
+        serial=next(_serial_counter),
+        not_before=now,
+        not_after=now + lifetime,
+        is_proxy=True,
+    )
+    signed = replace(cert, signature=user.keypair.sign(cert.tbs_bytes()))
+    return Credential(signed, proxy_keys, chain=(user.certificate,) + tuple(user.chain))
+
+
+def effective_identity(subject: DistinguishedName) -> DistinguishedName:
+    """Strip trailing ``CN=proxy`` components to get the base identity.
+
+    Authorization (gridmap lookups, ACL matching) must key on the user's
+    identity, not the delegated proxy's extended DN.
+    """
+    rdns = list(subject.rdns)
+    while len(rdns) > 1 and rdns[-1] == ("CN", "proxy"):
+        rdns.pop()
+    return DistinguishedName(tuple(rdns))

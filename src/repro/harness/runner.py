@@ -1,0 +1,147 @@
+"""Experiment runner.
+
+Every run builds a **fresh** testbed (cold caches — the paper unmounts
+and flushes between runs), mounts one setup, executes one workload, and
+collects:
+
+- per-phase and total virtual runtimes,
+- the end-of-run write-back time (reported separately, like the paper),
+- per-account CPU-utilization series from both hosts' ledgers
+  (Figs. 5–6),
+- cache/proxy statistics for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.setups import SETUP_BUILDERS, Mount
+from repro.core.topology import Testbed
+from repro.workloads.iozone import IOzoneReadReread
+from repro.workloads.mab import ModifiedAndrewBenchmark
+from repro.workloads.postmark import PostMark, PostMarkConfig
+from repro.workloads.seismic import Seismic, SeismicConfig
+
+
+@dataclass
+class ExperimentResult:
+    setup: str
+    rtt: float
+    total: float
+    phases: Dict[str, float] = field(default_factory=dict)
+    writeback_seconds: float = 0.0
+    writeback_bytes: int = 0
+    client_cpu: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    server_cpu: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_with_writeback(self) -> float:
+        return self.total + self.writeback_seconds
+
+    def cpu_mean(self, side: str, account: str) -> float:
+        series = (self.client_cpu if side == "client" else self.server_cpu).get(account, [])
+        if not series:
+            return 0.0
+        return sum(pct for _t, pct in series) / len(series)
+
+
+#: accounts whose utilization we sample (proxy == SGFS/GFS proxies and
+#: their crypto; sfsd/sfssd == SFS daemons; ssh == tunnel endpoints).
+_CPU_ACCOUNTS = ("proxy", "sfsd", "sfssd", "ssh", "sshd", "kernel-nfs", "app")
+
+
+def run_workload(
+    setup: str,
+    workload_factory: Callable[[], object],
+    rtt: float = 0.0,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    setup_kwargs: Optional[dict] = None,
+    prepare: Optional[Callable[[Testbed], None]] = None,
+    cpu_window: float = 5.0,
+) -> ExperimentResult:
+    """Build testbed + mount + run one workload; return the result."""
+    if setup not in SETUP_BUILDERS:
+        raise KeyError(f"unknown setup {setup!r}; have {sorted(SETUP_BUILDERS)}")
+    tb = Testbed.build(rtt=rtt, cal=cal)
+    workload = workload_factory()
+    if prepare is not None:
+        prepare(tb)
+    elif hasattr(workload, "prepare"):
+        workload.prepare(tb)
+    mount: Mount = SETUP_BUILDERS[setup](tb, **(setup_kwargs or {}))
+
+    t0 = tb.sim.now
+    tb.run(workload.run(mount), name=f"{setup}-workload")
+    total = tb.sim.now - t0
+    wb_seconds, _wb_blocks, wb_bytes = tb.run(mount.finish(), name="finish")
+    t_end = tb.sim.now
+
+    result = ExperimentResult(
+        setup=setup,
+        rtt=rtt,
+        total=total,
+        phases=dict(getattr(workload, "results", {})),
+        writeback_seconds=wb_seconds,
+        writeback_bytes=wb_bytes,
+    )
+    for account in _CPU_ACCOUNTS:
+        cl = tb.client.cpu.ledger.utilization_series(account, t_end, cpu_window)
+        sv = tb.server.cpu.ledger.utilization_series(account, t_end, cpu_window)
+        if any(pct for _t, pct in cl):
+            result.client_cpu[account] = cl
+        if any(pct for _t, pct in sv):
+            result.server_cpu[account] = sv
+    result.stats["nfs_client"] = mount.client.cache_stats()
+    if mount.client_proxy is not None:
+        result.stats["client_proxy"] = dict(mount.client_proxy.stats)
+    if mount.server_proxy is not None:
+        result.stats["server_proxy"] = {
+            "granted": mount.server_proxy.stats.granted,
+            "denied": mount.server_proxy.stats.denied,
+            "acl_answers": mount.server_proxy.stats.acl_answers,
+        }
+    return result
+
+
+# -- canned experiments ------------------------------------------------------
+
+
+def run_iozone(setup: str, rtt: float = 0.0, file_size: int = 16 * 1024 * 1024,
+               cal: Calibration = DEFAULT_CALIBRATION,
+               setup_kwargs: Optional[dict] = None) -> ExperimentResult:
+    return run_workload(
+        setup, lambda: IOzoneReadReread(file_size=file_size), rtt=rtt, cal=cal,
+        setup_kwargs=setup_kwargs,
+    )
+
+
+def run_postmark(setup: str, rtt: float = 0.0,
+                 config: Optional[PostMarkConfig] = None,
+                 cal: Calibration = DEFAULT_CALIBRATION,
+                 setup_kwargs: Optional[dict] = None) -> ExperimentResult:
+    return run_workload(
+        setup, lambda: PostMark(config), rtt=rtt, cal=cal,
+        setup_kwargs=setup_kwargs,
+    )
+
+
+def run_mab(setup: str, rtt: float = 0.0,
+            cal: Calibration = DEFAULT_CALIBRATION,
+            setup_kwargs: Optional[dict] = None) -> ExperimentResult:
+    return run_workload(
+        setup, ModifiedAndrewBenchmark, rtt=rtt, cal=cal,
+        setup_kwargs=setup_kwargs,
+    )
+
+
+def run_seismic(setup: str, rtt: float = 0.0,
+                config: Optional[SeismicConfig] = None,
+                cal: Calibration = DEFAULT_CALIBRATION,
+                setup_kwargs: Optional[dict] = None) -> ExperimentResult:
+    return run_workload(
+        setup, lambda: Seismic(config), rtt=rtt, cal=cal,
+        setup_kwargs=setup_kwargs,
+    )

@@ -1,0 +1,53 @@
+"""Result formatting: the textual analogs of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def speedup(baseline: float, other: float) -> float:
+    """How many times faster ``other`` is than ``baseline``."""
+    if other <= 0:
+        return float("inf")
+    return baseline / other
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Tuple[str, Dict[str, float]]],
+    columns: Sequence[str],
+    unit: str = "s",
+) -> str:
+    """Render rows of named values as an aligned text table."""
+    name_w = max([len(r[0]) for r in rows] + [len("setup")])
+    col_w = {c: max(len(c), 10) for c in columns}
+    out: List[str] = [title]
+    header = "setup".ljust(name_w) + "  " + "  ".join(c.rjust(col_w[c]) for c in columns)
+    out.append(header)
+    out.append("-" * len(header))
+    for name, values in rows:
+        cells = []
+        for c in columns:
+            v = values.get(c)
+            cells.append(("-" if v is None else f"{v:.2f}{unit}").rjust(col_w[c]))
+        out.append(name.ljust(name_w) + "  " + "  ".join(cells))
+    return "\n".join(out)
+
+
+def format_series(
+    title: str,
+    series: Dict[str, Iterable[Tuple[float, float]]],
+    x_label: str = "t(s)",
+    y_label: str = "%CPU",
+    max_points: int = 20,
+) -> str:
+    """Render utilization-over-time series as aligned text."""
+    out: List[str] = [title, f"{x_label} -> {y_label}"]
+    for name, points in series.items():
+        pts = list(points)
+        if len(pts) > max_points:
+            step = len(pts) / max_points
+            pts = [pts[int(i * step)] for i in range(max_points)]
+        body = "  ".join(f"{t:.0f}:{pct:.1f}" for t, pct in pts)
+        out.append(f"{name:12s} {body}")
+    return "\n".join(out)

@@ -1,0 +1,118 @@
+"""Per-operation latency tracing.
+
+Wraps the RPC client under an :class:`~repro.nfs.client.NfsClient` and
+records the virtual-time latency of every RPC by procedure, giving the
+per-op views behind the aggregate figures: latency percentiles per NFS
+procedure, call mix, and bytes moved.  Used by analysis scripts and the
+trace tests; costs nothing when not installed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.nfs.protocol import Proc
+
+
+@dataclass
+class OpRecord:
+    proc: str
+    start: float
+    latency: float
+    args_bytes: int
+    result_bytes: int
+
+
+@dataclass
+class TraceSummary:
+    count: int
+    total_latency: float
+    min_latency: float
+    p50: float
+    p95: float
+    max_latency: float
+
+    @property
+    def mean(self) -> float:
+        return self.total_latency / self.count if self.count else 0.0
+
+
+class RpcTracer:
+    """Attach with :func:`install`; read ``records`` / ``summarize``."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.records: List[OpRecord] = []
+
+    # -- installation ----------------------------------------------------
+
+    @classmethod
+    def install(cls, client) -> "RpcTracer":
+        """Interpose on an NfsClient's RPC layer."""
+        tracer = cls(client.sim)
+        rpc = client.rpc
+        original_call = rpc.call
+
+        def traced_call(proc, args, cred=None):
+            start = tracer.sim.now
+            if cred is None:
+                results = yield from original_call(proc, args)
+            else:
+                results = yield from original_call(proc, args, cred)
+            try:
+                name = Proc(proc).name
+            except ValueError:
+                name = str(proc)
+            tracer.records.append(
+                OpRecord(
+                    proc=name,
+                    start=start,
+                    latency=tracer.sim.now - start,
+                    args_bytes=len(args),
+                    result_bytes=len(results),
+                )
+            )
+            return results
+
+        rpc.call = traced_call
+        return tracer
+
+    # -- analysis -----------------------------------------------------------
+
+    def by_proc(self) -> Dict[str, List[OpRecord]]:
+        out: Dict[str, List[OpRecord]] = defaultdict(list)
+        for rec in self.records:
+            out[rec.proc].append(rec)
+        return dict(out)
+
+    def summarize(self) -> Dict[str, TraceSummary]:
+        out: Dict[str, TraceSummary] = {}
+        for proc, recs in self.by_proc().items():
+            lats = sorted(r.latency for r in recs)
+            out[proc] = TraceSummary(
+                count=len(lats),
+                total_latency=sum(lats),
+                min_latency=lats[0],
+                p50=lats[len(lats) // 2],
+                p95=lats[min(len(lats) - 1, int(len(lats) * 0.95))],
+                max_latency=lats[-1],
+            )
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(r.args_bytes + r.result_bytes for r in self.records)
+
+    def format(self) -> str:
+        lines = [f"{'proc':12s} {'count':>6s} {'mean':>9s} {'p50':>9s} "
+                 f"{'p95':>9s} {'max':>9s}"]
+        for proc, s in sorted(
+            self.summarize().items(), key=lambda kv: -kv[1].total_latency
+        ):
+            lines.append(
+                f"{proc:12s} {s.count:6d} {s.mean * 1000:8.2f}m "
+                f"{s.p50 * 1000:8.2f}m {s.p95 * 1000:8.2f}m "
+                f"{s.max_latency * 1000:8.2f}m"
+            )
+        return "\n".join(lines)

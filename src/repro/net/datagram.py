@@ -1,0 +1,115 @@
+"""Datagram (UDP-like) endpoints.
+
+Message-oriented, connectionless, and — unlike the stream sockets —
+allowed to *lose* packets: each endpoint can be given a deterministic
+drop policy (seeded, so runs still replay), which is what exercises the
+RPC layer's retransmission and the server's duplicate-request cache.
+
+Datagrams ride the same links as stream segments (shared FIFO queues,
+same latency/bandwidth), so mixed traffic contends realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.crypto.drbg import Drbg
+from repro.net.errors import NetError
+from repro.net.network import Network
+from repro.sim.core import Simulator
+from repro.sim.sync import Channel
+
+#: UDP/IP header overhead per datagram.
+DATAGRAM_OVERHEAD = 28
+
+#: Conventional maximum datagram our stack forwards (fragmentation is
+#: not modeled; ONC RPC over UDP historically kept records under this).
+MAX_DATAGRAM = 65507
+
+
+class DropPolicy:
+    """Deterministic packet-loss decider."""
+
+    def __init__(self, loss_rate: float = 0.0, seed: str = "udp-loss"):
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetError(f"loss rate {loss_rate} out of [0, 1)")
+        self.loss_rate = loss_rate
+        self._rng = Drbg(seed)
+        self.dropped = 0
+        self.passed = 0
+
+    def should_drop(self) -> bool:
+        if self.loss_rate == 0.0:
+            self.passed += 1
+            return False
+        drop = self._rng.random() < self.loss_rate
+        if drop:
+            self.dropped += 1
+        else:
+            self.passed += 1
+        return drop
+
+
+class DatagramEndpoint:
+    """A bound UDP-like port on a host."""
+
+    def __init__(self, sim: Simulator, host, port: int,
+                 drop_policy: Optional[DropPolicy] = None):
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.drop_policy = drop_policy
+        self._rx: Channel = Channel(sim, name=f"udp:{host.name}:{port}")
+        self.closed = False
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    def sendto(self, dest_host: str, dest_port: int, payload: bytes) -> None:
+        """Fire-and-forget, like sendto(2).  Oversized payloads raise."""
+        if self.closed:
+            raise NetError(f"endpoint {self.host.name}:{self.port} closed")
+        if len(payload) > MAX_DATAGRAM:
+            raise NetError(f"datagram of {len(payload)} bytes exceeds {MAX_DATAGRAM}")
+        network: Network = self.host.network
+        if dest_host not in network.nodes:
+            raise NetError(f"unknown destination {dest_host!r}")
+        self.datagrams_sent += 1
+        src = (self.host.name, self.port)
+
+        def arrive() -> None:
+            target = network.nodes[dest_host]
+            endpoint = getattr(target, "_udp_ports", {}).get(dest_port)
+            if endpoint is None or endpoint.closed:
+                return  # silently dropped, like real UDP to a dead port
+            if endpoint.drop_policy is not None and endpoint.drop_policy.should_drop():
+                return
+            endpoint.datagrams_received += 1
+            endpoint._rx.put((src, payload))
+
+        network.deliver(
+            self.host.name, dest_host, len(payload) + DATAGRAM_OVERHEAD, arrive
+        )
+
+    def recvfrom(self):
+        """Process generator: ((host, port), payload) of the next datagram."""
+        out = yield self._rx.get()
+        return out
+
+    def close(self) -> None:
+        self.closed = True
+        self.host._udp_ports.pop(self.port, None)
+        self._rx.close()
+
+
+def bind_datagram(sim: Simulator, host, port: int,
+                  drop_policy: Optional[DropPolicy] = None) -> DatagramEndpoint:
+    """Bind a datagram endpoint on a host (Host grows a UDP port table)."""
+    table: Dict[int, DatagramEndpoint] = getattr(host, "_udp_ports", None)
+    if table is None:
+        table = {}
+        host._udp_ports = table
+    if port in table:
+        raise NetError(f"{host.name}: UDP port {port} already bound")
+    endpoint = DatagramEndpoint(sim, host, port, drop_policy)
+    table[port] = endpoint
+    return endpoint

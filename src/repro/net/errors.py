@@ -1,0 +1,19 @@
+"""Network error types."""
+
+from repro.sim.core import SimError
+
+
+class NetError(SimError):
+    """Base class for network-layer errors."""
+
+
+class ConnectionRefused(NetError):
+    """No listener on the destination port."""
+
+
+class ConnectionReset(NetError):
+    """The peer closed or the connection was torn down mid-operation."""
+
+
+class NoRoute(NetError):
+    """No path exists between the two hosts."""

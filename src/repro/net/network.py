@@ -1,0 +1,195 @@
+"""Topology, links and the message delivery engine.
+
+A :class:`Network` owns a set of nodes (hosts and routers) and duplex
+:class:`Link` objects between them.  Routing uses shortest-path hop
+counts computed on demand and cached; topologies in this repository are
+tiny (2–4 nodes), so this is more than enough.
+
+Delivery of one transport segment works like a real store-and-forward
+path: for each hop the segment queues FIFO for the link direction,
+occupies it for ``size / bandwidth``, then propagates for the link's
+latency; intermediate nodes add their ``forward_delay`` (zero for plain
+hosts, the configured emulation delay for a :class:`DelayRouter`).
+Per-connection ordering is preserved because the per-direction link
+queues are FIFO and all segments of a connection follow the same path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.core import Simulator
+from repro.sim.sync import Semaphore
+from repro.net.errors import NetError, NoRoute
+
+#: One-way latency of the loopback interface (same-host connections —
+#: the app-to-proxy hop of a GFS/SGFS session).
+LOOPBACK_LATENCY = 15e-6
+
+
+class Link:
+    """A duplex point-to-point link.
+
+    ``latency`` is the one-way propagation delay in seconds; ``bandwidth``
+    is in bytes/second.  Each direction has its own FIFO transmit queue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: str,
+        b: str,
+        latency: float,
+        bandwidth: float,
+        name: str = "",
+    ):
+        if latency < 0 or bandwidth <= 0:
+            raise NetError("link needs latency >= 0 and bandwidth > 0")
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.name = name or f"{a}<->{b}"
+        self._tx: Dict[Tuple[str, str], Semaphore] = {
+            (a, b): Semaphore(sim, 1, name=f"{self.name}:{a}->{b}"),
+            (b, a): Semaphore(sim, 1, name=f"{self.name}:{b}->{a}"),
+        }
+
+    def other_end(self, node: str) -> str:
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise NetError(f"{node} is not an endpoint of {self.name}")
+
+    def tx_lock(self, src: str, dst: str) -> Semaphore:
+        return self._tx[(src, dst)]
+
+    def transmit_time(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth
+
+
+class Network:
+    """Node and link registry plus the delivery engine."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.nodes: Dict[str, "NodeLike"] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self._adj: Dict[str, List[str]] = {}
+        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    # -- topology ------------------------------------------------------
+
+    def add_node(self, node: "NodeLike") -> None:
+        if node.name in self.nodes:
+            raise NetError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self._adj.setdefault(node.name, [])
+
+    def connect(
+        self, a: str, b: str, latency: float = 0.0001, bandwidth: float = 125_000_000.0
+    ) -> Link:
+        """Create a duplex link (defaults: 0.1 ms one-way, Gigabit)."""
+        for n in (a, b):
+            if n not in self.nodes:
+                raise NetError(f"unknown node {n!r}")
+        key = (min(a, b), max(a, b))
+        if key in self.links:
+            raise NetError(f"link {a}<->{b} already exists")
+        link = Link(self.sim, a, b, latency, bandwidth)
+        self.links[key] = link
+        self._adj[a].append(b)
+        self._adj[b].append(a)
+        self._route_cache.clear()
+        return link
+
+    def link_between(self, a: str, b: str) -> Link:
+        return self.links[(min(a, b), max(a, b))]
+
+    def route(self, src: str, dst: str) -> List[str]:
+        """Shortest path (list of node names, inclusive of endpoints)."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            path = [src]
+        else:
+            prev: Dict[str, Optional[str]] = {src: None}
+            q = deque([src])
+            while q:
+                u = q.popleft()
+                if u == dst:
+                    break
+                for v in self._adj.get(u, ()):
+                    if v not in prev:
+                        prev[v] = u
+                        q.append(v)
+            if dst not in prev:
+                raise NoRoute(f"no path {src} -> {dst}")
+            path = [dst]
+            while prev[path[-1]] is not None:
+                path.append(prev[path[-1]])  # type: ignore[arg-type]
+            path.reverse()
+        self._route_cache[key] = path
+        return path
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip propagation time between two nodes (zero-size payload)."""
+        path = self.route(src, dst)
+        one_way = sum(
+            self.link_between(path[i], path[i + 1]).latency for i in range(len(path) - 1)
+        )
+        one_way += sum(self.nodes[n].forward_delay for n in path[1:-1])
+        return 2.0 * one_way
+
+    # -- delivery ------------------------------------------------------
+
+    def deliver(
+        self, src: str, dst: str, nbytes: int, on_arrival: Callable[[], None]
+    ) -> None:
+        """Carry a segment of ``nbytes`` from src to dst; call ``on_arrival``.
+
+        Spawns an internal process that walks the route hop by hop.
+        """
+        path = self.route(src, dst)
+
+        def _carry():
+            if len(path) == 1:
+                # Loopback: kernel-only round trip, no wire.
+                yield self.sim.timeout(LOOPBACK_LATENCY)
+                on_arrival()
+                return
+            through_cut_through = False
+            for i in range(len(path) - 1):
+                u, v = path[i], path[i + 1]
+                link = self.link_between(u, v)
+                lock = link.tx_lock(u, v)
+                yield lock.acquire()
+                try:
+                    # A cut-through router forwards as bits arrive, so the
+                    # segment pays serialization only once on the path.
+                    if not through_cut_through:
+                        yield self.sim.timeout(link.transmit_time(nbytes))
+                finally:
+                    lock.release()
+                yield self.sim.timeout(link.latency)
+                # Intermediate node adds its forwarding/emulation delay.
+                if i + 1 < len(path) - 1:
+                    node = self.nodes[v]
+                    if node.forward_delay > 0:
+                        yield self.sim.timeout(node.forward_delay)
+                    if getattr(node, "cut_through", False):
+                        through_cut_through = True
+            on_arrival()
+
+        self.sim.spawn(_carry(), name=f"pkt:{src}->{dst}")
+
+
+class NodeLike:
+    """Minimal interface Network expects of a node."""
+
+    name: str
+    forward_delay: float = 0.0

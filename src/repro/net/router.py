@@ -1,0 +1,49 @@
+"""NIST-Net-style delay router.
+
+The paper emulates wide-area RTTs by routing client/server traffic
+through a NIST Net box configured with a given round-trip time.  A
+:class:`DelayRouter` reproduces that: it sits on the path between the
+client and server links and adds ``one_way_delay`` seconds to every
+transiting segment, in each direction.  ``set_rtt`` reconfigures it
+mid-experiment, exactly like re-running ``nistnet`` with a new latency.
+"""
+
+from __future__ import annotations
+
+from repro.sim.core import Simulator
+from repro.net.errors import NetError
+from repro.net.network import Network
+
+
+class DelayRouter:
+    """A transit node adding a configurable one-way delay.
+
+    Forwarding is cut-through: a transiting segment pays link
+    serialization once on the path, not once per hop.
+    """
+
+    cut_through = True
+
+    def __init__(self, sim: Simulator, network: Network, name: str = "router",
+                 one_way_delay: float = 0.0):
+        if one_way_delay < 0:
+            raise NetError("delay must be >= 0")
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.forward_delay = one_way_delay
+        self._ports: dict = {}  # routers never listen; kept for Host duck-typing
+        network.add_node(self)
+
+    def set_rtt(self, rtt_seconds: float) -> None:
+        """Configure the emulated round-trip time added by this router."""
+        if rtt_seconds < 0:
+            raise NetError("RTT must be >= 0")
+        self.forward_delay = rtt_seconds / 2.0
+
+    @property
+    def rtt(self) -> float:
+        return self.forward_delay * 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DelayRouter {self.name} rtt={self.rtt * 1000:.1f}ms>"

@@ -1,0 +1,49 @@
+"""NFS version 3 (RFC 1813) — protocol, server, and caching client.
+
+The stack the paper virtualizes.  The server
+(:class:`~repro.nfs.server.NfsServerProgram`) exports a
+:class:`~repro.vfs.VirtualFS` through real XDR-encoded RPC; the client
+(:class:`~repro.nfs.client.NfsClient`) reproduces the kernel client
+behaviors the evaluation depends on: attribute caching with adaptive
+timeouts, an LRU page cache, read-ahead, write-behind with COMMIT, and
+close-to-open consistency.  A thin NFSv4-flavored variant lives in
+:mod:`repro.nfs.v4`.
+"""
+
+from repro.nfs.protocol import (
+    NFS_PROGRAM,
+    NFS_V3,
+    Proc,
+    NfsStatus,
+    FileHandle,
+    Fattr3,
+    Sattr3,
+    ACCESS_READ,
+    ACCESS_LOOKUP,
+    ACCESS_MODIFY,
+    ACCESS_EXTEND,
+    ACCESS_DELETE,
+    ACCESS_EXECUTE,
+)
+from repro.nfs.server import NfsServerProgram
+from repro.nfs.client import NfsClient, NfsClientError, OpenFile
+
+__all__ = [
+    "NFS_PROGRAM",
+    "NFS_V3",
+    "Proc",
+    "NfsStatus",
+    "FileHandle",
+    "Fattr3",
+    "Sattr3",
+    "NfsServerProgram",
+    "NfsClient",
+    "NfsClientError",
+    "OpenFile",
+    "ACCESS_READ",
+    "ACCESS_LOOKUP",
+    "ACCESS_MODIFY",
+    "ACCESS_EXTEND",
+    "ACCESS_DELETE",
+    "ACCESS_EXECUTE",
+]

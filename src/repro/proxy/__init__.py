@@ -1,0 +1,43 @@
+"""SGFS proxies — the paper's primary contribution.
+
+User-level loop-back proxies interposed on the NFS RPC path:
+
+- :mod:`repro.proxy.server_proxy` — the server-side proxy: GSI
+  authentication (via the secure transport's peer identity), gridmap and
+  per-file ACL authorization, ACCESS-procedure interception, uid/gid
+  identity mapping, and forwarding to the kernel NFS server that exports
+  only to localhost (Figure 1).
+- :mod:`repro.proxy.client_proxy` — the client-side proxy: forwards the
+  unmodified kernel client's RPCs to the server-side proxy over a plain,
+  SSL-secured, or SSH-tunneled transport, optionally through a disk
+  cache with write-back (the WAN story of §6.2.2–6.3).
+- :mod:`repro.proxy.acl` — grid-style ACL files (``.filename.acl``)
+  with directory inheritance and in-memory caching (§4.3).
+- :mod:`repro.proxy.accounts` — the local account database used for
+  identity mapping.
+- :mod:`repro.proxy.session_config` — the proxy configuration file
+  (security + cache sections) with dynamic reload (§4.2).
+- :mod:`repro.proxy.cryptofs` — at-rest encryption extension (§7
+  future work).
+"""
+
+from repro.proxy.accounts import AccountsDb, Account
+from repro.proxy.acl import AclStore, AclEntry, parse_acl_text, ACL_SUFFIX_FMT, acl_name_for
+from repro.proxy.server_proxy import SgfsServerProxy, AuthzDecision
+from repro.proxy.client_proxy import SgfsClientProxy, ProxyCacheConfig
+from repro.proxy.session_config import SessionConfig
+
+__all__ = [
+    "AccountsDb",
+    "Account",
+    "AclStore",
+    "AclEntry",
+    "parse_acl_text",
+    "ACL_SUFFIX_FMT",
+    "acl_name_for",
+    "SgfsServerProxy",
+    "AuthzDecision",
+    "SgfsClientProxy",
+    "ProxyCacheConfig",
+    "SessionConfig",
+]

@@ -1,0 +1,63 @@
+"""Local account database for identity mapping.
+
+The server-side proxy maps an authorized grid user to a local account
+(via the gridmap), then rewrites the AUTH_SYS credentials of each RPC to
+that account's uid/gid before forwarding to the kernel NFS server
+(paper §4.3: the client-side uid/gid "do not represent the grid user's
+identity ... but they are still necessary for the identity mapping").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Account:
+    name: str
+    uid: int
+    gid: int
+    groups: Tuple[int, ...] = ()
+
+
+class AccountsDb:
+    """A passwd-like table: name -> Account."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Account] = {}
+        self._by_uid: Dict[int, Account] = {}
+        # Conventional fixtures every host has.
+        self.add(Account("root", 0, 0))
+        self.add(Account("nobody", 65534, 65534))
+
+    def add(self, account: Account) -> Account:
+        if account.name in self._by_name:
+            raise ValueError(f"duplicate account {account.name!r}")
+        if account.uid in self._by_uid:
+            raise ValueError(f"duplicate uid {account.uid}")
+        self._by_name[account.name] = account
+        self._by_uid[account.uid] = account
+        return account
+
+    def ensure(self, name: str, uid: Optional[int] = None, gid: Optional[int] = None) -> Account:
+        """Get-or-create (grid deployments allocate accounts on demand)."""
+        existing = self._by_name.get(name)
+        if existing is not None:
+            return existing
+        if uid is None:
+            uid = (max(self._by_uid) + 1) if self._by_uid else 1000
+            uid = max(uid, 1000)
+        return self.add(Account(name, uid, gid if gid is not None else uid))
+
+    def lookup(self, name: str) -> Optional[Account]:
+        return self._by_name.get(name)
+
+    def lookup_uid(self, uid: int) -> Optional[Account]:
+        return self._by_uid.get(uid)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)

@@ -1,0 +1,332 @@
+"""Server-side SGFS proxy (paper §4.2–4.3, Figure 1).
+
+Sits between the WAN-facing transport and a kernel NFS server that
+exports only to localhost.  For every session it:
+
+1. **authenticates** the peer — for secure sessions the TLS-like
+   handshake yields the grid user's certificate; the proxy resolves
+   proxy-certificate delegation to the base identity;
+2. **authorizes** via the session gridmap (identity → local account) and
+   grid ACLs: ACCESS calls are answered from ``.name.acl`` files with
+   directory inheritance and an in-memory ACL cache; objects with no ACL
+   fall back to mapped-UNIX permission checks upstream;
+3. **maps identities**: the AUTH_SYS uid/gid the client-side account
+   stamped on each call are rewritten to the mapped local account;
+4. **protects ACL files** from remote access: lookups of ``.x.acl``
+   names answer NOENT, mutations answer ACCES, and directory listings
+   are filtered;
+5. forwards the (possibly rewritten) call to the kernel server and
+   relays the reply, charging user-level processing CPU both ways —
+   the measurable overhead of Figs. 4–6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.gsi.gridmap import Gridmap
+from repro.gsi.names import DistinguishedName
+from repro.gsi.proxy import effective_identity
+from repro.nfs import protocol as pr
+from repro.nfs.protocol import FileHandle, Fattr3, NfsStatus, Proc
+from repro.proxy.accounts import Account, AccountsDb
+from repro.proxy.acl import AclStore, is_acl_name
+from repro.rpc.auth import AUTH_SYS, AuthSys
+from repro.rpc.client import RpcClient
+from repro.rpc.costs import CostProfile, FREE_PROFILE, charge_profile
+from repro.rpc.messages import (
+    AUTH_REJECTEDCRED,
+    AUTH_TOOWEAK,
+    CallMessage,
+    ReplyMessage,
+    denied_reply,
+)
+from repro.rpc.transport import StreamTransport, Transport
+from repro.sim.core import Simulator
+from repro.tls.channel import HandshakeError, server_handshake
+from repro.tls.config import SecurityConfig
+from repro.vfs.fs import VirtualFS
+
+
+class AuthzDecision:
+    """Statistics bucket for authorization outcomes."""
+
+    def __init__(self) -> None:
+        self.granted = 0
+        self.denied = 0
+        self.acl_answers = 0
+        self.unix_fallbacks = 0
+
+
+class SgfsServerProxy:
+    """One exported filesystem's server-side proxy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host,
+        listen_port: int,
+        nfs_server_port: int,
+        accounts: AccountsDb,
+        gridmap: Gridmap,
+        fs: VirtualFS,
+        security: Optional[SecurityConfig] = None,
+        cost: CostProfile = FREE_PROFILE,
+        account: str = "proxy",
+        blocking: bool = True,
+        enable_acls: bool = True,
+        session_identity: Optional[DistinguishedName] = None,
+        acl_cache_enabled: bool = True,
+        acl_disk=None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.listen_port = listen_port
+        self.nfs_server_port = nfs_server_port
+        self.accounts = accounts
+        self.gridmap = gridmap
+        self.fs = fs
+        self.security = security
+        self.cost = cost
+        self.account = account
+        self.blocking = blocking
+        self.enable_acls = enable_acls
+        #: identity assumed for *insecure* (plain GFS) sessions, standing
+        #: in for the session-key authentication of the prior system.
+        self.session_identity = session_identity
+        self.acl_disk = acl_disk
+        self.acls = AclStore(fs, cache_enabled=acl_cache_enabled)
+        self.stats = AuthzDecision()
+        self.calls_forwarded = 0
+        self._listener = None
+        self._reload_pending = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._listener = self.host.listen(self.listen_port)
+        self.sim.spawn(self._accept_loop(), name=f"sgfs-srvproxy:{self.listen_port}")
+
+    def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def reload(self, security: Optional[SecurityConfig] = None,
+               gridmap: Optional[Gridmap] = None) -> None:
+        """Dynamic reconfiguration (§4.2): applies to new sessions and
+        signals established ones to renegotiate."""
+        if security is not None:
+            self.security = security
+        if gridmap is not None:
+            self.gridmap = gridmap
+        self._reload_pending = True
+
+    def _accept_loop(self):
+        while self._listener is not None and not self._listener.closed:
+            try:
+                sock = yield self._listener.accept()
+            except Exception:
+                return
+            self.sim.spawn(self._session(sock), name="sgfs-session")
+
+    # -- per-session ---------------------------------------------------------
+
+    def _session(self, sock):
+        cpu = self.host.cpu
+        if self.security is not None:
+            try:
+                transport: Transport = yield from server_handshake(
+                    self.sim, sock, self.security, cpu=cpu, account=self.account
+                )
+            except HandshakeError:
+                sock.abort()
+                return
+            identity = effective_identity(transport.peer_identity)
+        else:
+            transport = StreamTransport(sock)
+            identity = self.session_identity
+        mapped = self._map_identity(identity)
+
+        # Upstream connection to the kernel NFS server on localhost.
+        upstream_sock = yield from self.host.connect(self.host.name, self.nfs_server_port)
+        upstream = RpcClient(
+            self.sim, StreamTransport(upstream_sock), pr.NFS_PROGRAM, pr.NFS_V3
+        )
+        try:
+            while True:
+                record = yield from transport.recv_record()
+                if record is None:
+                    return
+                if self.blocking:
+                    yield from self._serve(transport, upstream, record, identity, mapped)
+                else:
+                    self.sim.spawn(
+                        self._serve(transport, upstream, record, identity, mapped),
+                        name="sgfs-call",
+                    )
+        finally:
+            upstream.close()
+            transport.close()
+
+    def _map_identity(self, identity: Optional[DistinguishedName]) -> Optional[Account]:
+        if identity is None:
+            return None
+        account_name = self.gridmap.lookup(identity)
+        if account_name is None:
+            return None
+        return self.accounts.lookup(account_name) or self.accounts.ensure(account_name)
+
+    # -- per-call --------------------------------------------------------------
+
+    def _serve(self, transport, upstream: RpcClient, record: bytes,
+               identity: Optional[DistinguishedName], mapped: Optional[Account]):
+        cpu = self.host.cpu
+        # Inbound crypto cost was charged inside transport.recv_record();
+        # here we charge the user-level RPC processing itself.
+        yield from charge_profile(self.sim, cpu, self.cost, len(record), self.account)
+        try:
+            call = CallMessage.decode(record)
+        except Exception:
+            return  # garbage on the wire: drop
+        reply = yield from self._authorize_and_forward(upstream, call, identity, mapped)
+        encoded = reply.encode()
+        yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
+        if hasattr(transport, "charge"):
+            yield from transport.charge(len(encoded))
+        try:
+            transport.send_record(encoded)
+        except Exception:
+            pass  # peer vanished
+
+    def _authorize_and_forward(self, upstream: RpcClient, call: CallMessage,
+                               identity: Optional[DistinguishedName],
+                               mapped: Optional[Account]):
+        if call.prog != pr.NFS_PROGRAM:
+            return denied_reply(call.xid, AUTH_TOOWEAK)
+            yield  # pragma: no cover
+        if call.proc != Proc.NULL and mapped is None:
+            # Authenticated but unmapped (and policy is deny), or an
+            # insecure session with no assumed identity.
+            self.stats.denied += 1
+            return denied_reply(call.xid, AUTH_REJECTEDCRED)
+
+        proc = call.proc
+        # -- ACL-file protection -------------------------------------------
+        if self.enable_acls:
+            blocked = self._screen_acl_names(call)
+            if blocked is not None:
+                return blocked
+
+        # -- ACCESS interception (§4.3 fine-grained control) -----------------
+        if self.enable_acls and proc == Proc.ACCESS and identity is not None:
+            misses_before = self.acls.cache_misses
+            local = self._answer_access(call, identity)
+            if self.acl_disk is not None and self.acls.cache_misses > misses_before:
+                # ACL file had to come off the server's disk (§4.3:
+                # "for the reason of performance, the ACLs are cached in
+                # memory ... once they are read from disk").
+                yield from self.acl_disk.read(1024, cached=False)
+            if local is not None:
+                self.stats.acl_answers += 1
+                return local
+            self.stats.unix_fallbacks += 1
+
+        # -- identity mapping + forward ---------------------------------------
+        out_call = self._remap_credentials(call, mapped)
+        self.stats.granted += 1
+        self.calls_forwarded += 1
+        reply = yield from upstream.call_detailed(
+            int(proc), out_call.args, out_call.cred
+        )
+        reply.xid = call.xid
+        # -- screen directory listings -----------------------------------------
+        if self.enable_acls and proc in (Proc.READDIR, Proc.READDIRPLUS):
+            reply = self._filter_readdir(reply, plus=(proc == Proc.READDIRPLUS))
+        return reply
+
+    def _remap_credentials(self, call: CallMessage, mapped: Optional[Account]) -> CallMessage:
+        if mapped is None or call.cred.flavor != AUTH_SYS:
+            return call
+        try:
+            auth = AuthSys.from_opaque(call.cred)
+        except Exception:
+            return call
+        remapped = AuthSys(
+            stamp=auth.stamp,
+            machinename="localhost",
+            uid=mapped.uid,
+            gid=mapped.gid,
+            gids=list(mapped.groups),
+        )
+        return call.with_cred(remapped.to_opaque())
+
+    # -- ACL machinery -------------------------------------------------------------
+
+    def _screen_acl_names(self, call: CallMessage) -> Optional[ReplyMessage]:
+        """Hide and protect ``.name.acl`` files from remote sessions."""
+        proc = call.proc
+        name_procs = {
+            Proc.LOOKUP, Proc.CREATE, Proc.MKDIR, Proc.SYMLINK,
+            Proc.REMOVE, Proc.RMDIR,
+        }
+        try:
+            if proc in name_procs:
+                from repro.xdr import Unpacker
+
+                u = Unpacker(call.args)
+                _fh = FileHandle.unpack(u)
+                name = u.unpack_string(max_len=255)
+                if is_acl_name(name):
+                    status = (
+                        NfsStatus.NOENT if proc == Proc.LOOKUP else NfsStatus.ACCES
+                    )
+                    return self._local_error(call, status)
+            elif proc == Proc.RENAME:
+                f_dir, f_name, t_dir, t_name = pr.unpack_rename_args(call.args)
+                if is_acl_name(f_name) or is_acl_name(t_name):
+                    return self._local_error(call, NfsStatus.ACCES)
+        except Exception:
+            return None  # undecodable: let the server reject it
+        return None
+
+    @staticmethod
+    def _local_error(call: CallMessage, status: NfsStatus) -> ReplyMessage:
+        from repro.nfs.server import NfsServerProgram
+
+        body = NfsServerProgram._error_result(Proc(call.proc), status)
+        return ReplyMessage(xid=call.xid, results=body)
+
+    def _answer_access(self, call: CallMessage, identity: DistinguishedName):
+        """Answer ACCESS from grid ACLs; None -> fall back to UNIX."""
+        try:
+            fh, want = pr.unpack_access_args(call.args)
+            node = self.fs.inode(fh.fileid)
+        except Exception:
+            return None
+        bits = self.acls.evaluate(node.fileid, identity)
+        if bits is None:
+            return None  # no ACL in force: UNIX fallback upstream
+        attr = Fattr3(
+            ftype=int(node.ftype), mode=node.mode, nlink=node.nlink,
+            uid=node.uid, gid=node.gid, size=node.size, used=node.used_bytes(),
+            fsid=self.fs.fsid, fileid=node.fileid,
+            atime=node.atime, mtime=node.mtime, ctime=node.ctime,
+        )
+        body = pr.pack_access_res(NfsStatus.OK, attr, bits & want)
+        return ReplyMessage(xid=call.xid, results=body)
+
+    def _filter_readdir(self, reply: ReplyMessage, plus: bool) -> ReplyMessage:
+        if reply.results == b"":
+            return reply
+        try:
+            status, dir_attr, entries, eof = pr.unpack_readdir_res(reply.results, plus=plus)
+        except Exception:
+            return reply
+        if status != NfsStatus.OK:
+            return reply
+        visible = [e for e in entries if not is_acl_name(e.name)]
+        if len(visible) == len(entries):
+            return reply
+        reply.results = pr.pack_readdir_res(status, dir_attr, visible, eof, plus=plus)
+        return reply

@@ -1,0 +1,114 @@
+"""RPC client endpoint.
+
+Bound to one (program, version) over one transport, like a TI-RPC client
+handle.  Supports any number of outstanding calls: replies are matched
+to callers by xid, which is what lets the SFS baseline pipeline requests
+while the SGFS prototype's blocking callers simply await one at a time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.rpc.auth import NULL_AUTH, OpaqueAuth
+from repro.rpc.costs import EndpointCost, FREE
+from repro.rpc.errors import RpcError, RpcTransportError
+from repro.rpc.messages import CallMessage, ReplyMessage
+from repro.rpc.transport import Transport
+from repro.sim.core import Event, Simulator
+from repro.sim.cpu import CPU
+
+_xid_counter = itertools.count(0x10_0000)
+
+
+class RpcClient:
+    """Issues calls for one program/version over a transport."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        prog: int,
+        vers: int,
+        cpu: Optional[CPU] = None,
+        cost: EndpointCost = FREE,
+        account: str = "rpc-client",
+    ):
+        self.sim = sim
+        self.transport = transport
+        self.prog = prog
+        self.vers = vers
+        self.cpu = cpu
+        self.cost = cost
+        self.account = account
+        self.calls_sent = 0
+        self._pending: Dict[int, Event] = {}
+        self._pump = sim.spawn(self._reply_pump(), name=f"rpc-pump:{prog}/{vers}")
+
+    # -- calling ---------------------------------------------------------
+
+    def call(self, proc: int, args: bytes, cred: OpaqueAuth = NULL_AUTH):
+        """Process generator: perform one call, return the result bytes.
+
+        Raises an :class:`RpcError` subclass on a non-SUCCESS reply, and
+        :class:`RpcError` if the transport dies first.
+        """
+        reply = yield from self.call_detailed(proc, args, cred)
+        reply.raise_for_status()
+        return reply.results
+
+    def call_detailed(self, proc: int, args: bytes, cred: OpaqueAuth = NULL_AUTH):
+        """Like :meth:`call` but returns the full :class:`ReplyMessage`."""
+        xid = next(_xid_counter)
+        msg = CallMessage(xid, self.prog, self.vers, proc, cred=cred, args=args)
+        record = msg.encode()
+        if self.cpu is not None:
+            yield from self.cpu.consume(self.cost.cost(len(record)), self.account)
+        ev = self.sim.event(name=f"rpc-reply:{xid}")
+        self._pending[xid] = ev
+        self.calls_sent += 1
+        try:
+            self.transport.send_record(record)
+        except Exception as exc:
+            self._pending.pop(xid, None)
+            raise RpcTransportError(f"send failed: {exc}") from exc
+        reply: ReplyMessage = yield ev
+        if self.cpu is not None:
+            yield from self.cpu.consume(
+                self.cost.cost(len(reply.results)), self.account
+            )
+        return reply
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    # -- reply pump --------------------------------------------------------
+
+    def _reply_pump(self):
+        try:
+            while True:
+                record = yield from self.transport.recv_record()
+                if record is None:
+                    break
+                try:
+                    reply = ReplyMessage.decode(record)
+                except RpcError:
+                    continue  # not a reply; ignore (robustness)
+                ev = self._pending.pop(reply.xid, None)
+                if ev is not None:
+                    ev.succeed(reply)
+                # else: duplicate/unsolicited reply — drop
+        except Exception as exc:
+            self._fail_all(RpcTransportError(f"transport failure: {exc}"))
+            return
+        self._fail_all(RpcTransportError("connection closed with calls outstanding"))
+
+    def _fail_all(self, exc: RpcTransportError) -> None:
+        pending, self._pending = self._pending, {}
+        for ev in pending.values():
+            ev.fail(exc)
+
+    def close(self) -> None:
+        self.transport.close()

@@ -1,0 +1,46 @@
+"""RPC error types surfaced to callers."""
+
+
+class RpcError(Exception):
+    """Base class for RPC-layer failures."""
+
+
+class RpcAuthError(RpcError):
+    """The server rejected the call's credentials (MSG_DENIED/AUTH_ERROR)."""
+
+    def __init__(self, stat: int, message: str = ""):
+        super().__init__(message or f"authentication error (auth_stat={stat})")
+        self.stat = stat
+
+
+class RpcProgUnavail(RpcError):
+    """PROG_UNAVAIL: the program is not registered at the server."""
+
+
+class RpcProgMismatch(RpcError):
+    """PROG_MISMATCH: unsupported program version."""
+
+    def __init__(self, low: int, high: int):
+        super().__init__(f"program version unsupported (server supports {low}..{high})")
+        self.low = low
+        self.high = high
+
+
+class RpcProcUnavail(RpcError):
+    """PROC_UNAVAIL: unknown procedure number."""
+
+
+class RpcGarbageArgs(RpcError):
+    """GARBAGE_ARGS: the server could not decode the arguments."""
+
+
+class RpcSystemError(RpcError):
+    """SYSTEM_ERR: server-side failure while processing the call."""
+
+
+class RpcTransportError(RpcError):
+    """The transport died under the call (connection reset/closed).
+
+    Distinct from server-reported errors: callers with hard-mount
+    semantics retry these after reconnecting, like a kernel NFS client.
+    """

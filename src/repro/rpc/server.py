@@ -1,0 +1,178 @@
+"""RPC server endpoint.
+
+Accepts transports (plain sockets, TLS channels, SSH-tunnel exits — the
+acceptor is pluggable), reads CALL records, dispatches to registered
+programs, and writes replies.  Each call is served in its own process so
+multiple outstanding requests from a pipelining client genuinely overlap,
+bounded by an optional per-server concurrency cap (the analog of the
+number of nfsd threads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.rpc.costs import EndpointCost, FREE
+from repro.rpc.errors import RpcError
+from repro.rpc.messages import (
+    CallMessage,
+    GARBAGE_ARGS,
+    PROC_UNAVAIL,
+    PROG_MISMATCH,
+    PROG_UNAVAIL,
+    SYSTEM_ERR,
+    ReplyMessage,
+    error_reply,
+    success_reply,
+)
+from repro.rpc.transport import Transport
+from repro.sim.core import Simulator
+from repro.sim.cpu import CPU
+from repro.sim.sync import Semaphore
+
+
+class RpcProgram:
+    """Base class for an RPC program implementation.
+
+    Subclasses set ``prog``/``vers`` and implement :meth:`handle` as a
+    process generator returning the XDR-encoded result bytes.  Raising
+    :class:`GarbageArgsError`-ish conditions is signalled by raising
+    ``repro.xdr.XdrError`` (mapped to GARBAGE_ARGS) or any other
+    exception (mapped to SYSTEM_ERR).
+    """
+
+    prog: int = 0
+    vers: int = 0
+
+    def handle(self, proc: int, args: bytes, call: CallMessage, ctx: "CallContext"):
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class CallContext:
+    """Per-call context handed to program handlers."""
+
+    __slots__ = ("transport", "server")
+
+    def __init__(self, transport: Transport, server: "RpcServer"):
+        self.transport = transport
+        self.server = server
+
+    @property
+    def peer_certificate(self):
+        """The authenticated peer certificate, if the transport has one."""
+        return getattr(self.transport, "peer_certificate", None)
+
+
+class ProcUnavailable(RpcError):
+    """Handlers raise this for unknown procedure numbers."""
+
+
+class RpcServer:
+    """Dispatches calls arriving on accepted transports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: Optional[CPU] = None,
+        cost: EndpointCost = FREE,
+        account: str = "rpc-server",
+        max_inflight: int = 64,
+        name: str = "rpc-server",
+    ):
+        self.sim = sim
+        self.cpu = cpu
+        self.cost = cost
+        self.account = account
+        self.name = name
+        self.calls_served = 0
+        self._programs: Dict[Tuple[int, int], RpcProgram] = {}
+        self._versions: Dict[int, Tuple[int, int]] = {}
+        self._inflight = Semaphore(sim, max_inflight, name=f"{name}.inflight")
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, program: RpcProgram) -> None:
+        key = (program.prog, program.vers)
+        if key in self._programs:
+            raise RpcError(f"program {key} already registered")
+        self._programs[key] = program
+        low, high = self._versions.get(program.prog, (program.vers, program.vers))
+        self._versions[program.prog] = (min(low, program.vers), max(high, program.vers))
+
+    # -- serving -------------------------------------------------------------
+
+    def serve_listener(self, listener) -> None:
+        """Accept plain-socket connections from a Listener forever."""
+        from repro.rpc.transport import StreamTransport
+
+        def acceptor():
+            while True:
+                try:
+                    sock = yield listener.accept()
+                except Exception:
+                    return
+                self.serve_transport(StreamTransport(sock))
+
+        self.sim.spawn(acceptor(), name=f"{self.name}.accept")
+
+    def serve_transport(self, transport: Transport) -> None:
+        """Serve RPC calls arriving on an established transport."""
+        self.sim.spawn(self._connection_loop(transport), name=f"{self.name}.conn")
+
+    def _connection_loop(self, transport: Transport):
+        while True:
+            try:
+                record = yield from transport.recv_record()
+            except Exception:
+                return
+            if record is None:
+                return
+            self.sim.spawn(
+                self._serve_call(transport, record), name=f"{self.name}.call"
+            )
+
+    def _serve_call(self, transport: Transport, record: bytes):
+        yield self._inflight.acquire()
+        try:
+            if self.cpu is not None:
+                yield from self.cpu.consume(self.cost.cost(len(record)), self.account)
+            try:
+                call = CallMessage.decode(record)
+            except Exception:
+                return  # undecodable header: drop, like a real server
+            reply = yield from self._dispatch(transport, call)
+            if self.cpu is not None:
+                yield from self.cpu.consume(
+                    self.cost.cost(len(reply.results)), self.account
+                )
+            try:
+                transport.send_record(reply.encode())
+            except Exception:
+                return  # peer went away while we processed
+            self.calls_served += 1
+        finally:
+            self._inflight.release()
+
+    def _dispatch(self, transport: Transport, call: CallMessage):
+        program = self._programs.get((call.prog, call.vers))
+        if program is None:
+            if call.prog in self._versions:
+                low, high = self._versions[call.prog]
+                reply = error_reply(call.xid, PROG_MISMATCH)
+                reply.mismatch_low, reply.mismatch_high = low, high
+                return reply
+            return error_reply(call.xid, PROG_UNAVAIL)
+        ctx = CallContext(transport, self)
+        try:
+            results = yield from program.handle(call.proc, call.args, call, ctx)
+        except ProcUnavailable:
+            return error_reply(call.xid, PROC_UNAVAIL)
+        except Exception as exc:
+            from repro.xdr import XdrError
+
+            if isinstance(exc, XdrError):
+                return error_reply(call.xid, GARBAGE_ARGS)
+            return error_reply(call.xid, SYSTEM_ERR)
+        if isinstance(results, ReplyMessage):
+            return results  # handler built a full reply (proxies do this)
+        return success_reply(call.xid, results)

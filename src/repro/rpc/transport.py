@@ -1,0 +1,81 @@
+"""Transport abstraction the RPC endpoints run over.
+
+A transport moves whole *records* (already RPC-framed byte blobs are the
+transport's payload unit).  The plain flavor frames with RFC 1831 record
+marking over a simulated TCP socket.  Secure flavors — the TLS channel of
+:mod:`repro.tls` and the SSH tunnel of :mod:`repro.sshtun` — implement
+the same three methods, so the RPC client/server and the SGFS proxies
+are completely agnostic to which one they ride on.  This mirrors the
+paper's secure-RPC library, where ``clnt_tli_ssl_create`` swaps the
+transport under unmodified RPC code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.socket import SimSocket
+from repro.rpc.record import RecordReader, RecordWriter, DEFAULT_FRAGMENT_SIZE
+
+
+class Transport:
+    """Interface: record-oriented, ordered, reliable."""
+
+    def send_record(self, record: bytes) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def recv_record(self):  # pragma: no cover - interface
+        """Process generator returning the next record, or None on EOF."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class StreamTransport(Transport):
+    """Record marking directly over a simulated TCP socket (no security).
+
+    This is what native NFS and the plain GFS proxies use, and it is the
+    inner layer every secure transport wraps.
+    """
+
+    def __init__(self, sock: SimSocket, fragment_size: int = DEFAULT_FRAGMENT_SIZE):
+        self.sock = sock
+        self._writer = RecordWriter(sock, fragment_size)
+        self._reader = RecordReader()
+        self._eof = False
+
+    def send_record(self, record: bytes) -> None:
+        self._writer.write(record)
+
+    def recv_record(self):
+        """Process generator: next full record, or None on orderly EOF."""
+        while True:
+            rec = self._reader.next_record()
+            if rec is not None:
+                return rec
+            if self._eof:
+                return None
+            chunk = yield from self.sock.recv()
+            if chunk == b"":
+                self._eof = True
+                if self._reader.pending == 0:
+                    return None
+            else:
+                self._reader.feed(chunk)
+
+    def close(self) -> None:
+        self.sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.sock.closed
+
+    @property
+    def peer_certificate(self) -> Optional[object]:
+        """Plain transports carry no authentication."""
+        return None

@@ -1,0 +1,43 @@
+"""Secure management services (paper §3.2, §4.4).
+
+The service plane of SGFS: WSRF-style web services exchanging SOAP
+messages protected with WS-Security-style XML signatures over X.509/GSI
+certificates (the original used WSRF::Lite).  Message-level security is
+expensive but off the data path — these services run only when sessions
+are created, reconfigured, or destroyed.
+
+- :mod:`repro.services.xmlmini` — a minimal XML document model with a
+  canonical serialization (what gets signed),
+- :mod:`repro.services.soap` — SOAP-like envelopes and the WS-Security
+  header: body signature, binary security token (the sender's cert
+  chain), timestamp and nonce,
+- :mod:`repro.services.endpoint` — service endpoints over the simulated
+  network: verify, authorize, dispatch, reply signed,
+- :mod:`repro.services.fss` — the File System Service on every client
+  and server, controlling the local proxies,
+- :mod:`repro.services.dss` — the Data Scheduler Service: session
+  scheduling, the per-filesystem ACL database, gridmap generation, and
+  delegation handling (a user hands the DSS a proxy credential; the DSS
+  acts on the user's behalf toward both FSSs).
+"""
+
+from repro.services.xmlmini import XmlElement, XmlError
+from repro.services.soap import SoapEnvelope, SoapFault, sign_envelope, verify_envelope
+from repro.services.endpoint import ServiceEndpoint, ServiceClient, ServiceError
+from repro.services.fss import FileSystemService
+from repro.services.dss import DataSchedulerService, SessionHandle
+
+__all__ = [
+    "XmlElement",
+    "XmlError",
+    "SoapEnvelope",
+    "SoapFault",
+    "sign_envelope",
+    "verify_envelope",
+    "ServiceEndpoint",
+    "ServiceClient",
+    "ServiceError",
+    "FileSystemService",
+    "DataSchedulerService",
+    "SessionHandle",
+]

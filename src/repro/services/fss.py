@@ -1,0 +1,238 @@
+"""File System Service — runs on every client and server (paper §3.2).
+
+The FSS is the hands of the management plane: it configures and starts
+the local SGFS proxies on request from the DSS (or directly from a
+user).  A server-side FSS starts server proxies with a supplied gridmap
+and cipher suite; a client-side FSS starts client proxies, receiving the
+user's *delegated credential* as an encrypted blob and handing it to the
+proxy's TLS layer — the proxies then "use this certificate to establish
+a secure file system session" (§3.2).
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+from typing import Dict, Iterable, Optional
+
+from repro.crypto.drbg import Drbg
+from repro.crypto.hybrid import open_sealed
+from repro.gsi.certs import Certificate, Credential
+from repro.gsi.gridmap import Gridmap
+from repro.proxy.accounts import AccountsDb
+from repro.proxy.client_proxy import ProxyCacheConfig, SgfsClientProxy
+from repro.proxy.server_proxy import SgfsServerProxy
+from repro.rpc.transport import StreamTransport
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.soap import SoapFault
+from repro.sim.core import Simulator
+from repro.tls import SecurityConfig
+from repro.tls.channel import client_handshake
+from repro.vfs.disk import DiskModel
+from repro.vfs.fs import VirtualFS
+
+_session_ids = itertools.count(100)
+
+
+class FileSystemService(ServiceEndpoint):
+    """One host's FSS.
+
+    Construct with either server-side wiring (``fs``, ``accounts``,
+    ``nfs_port``, ``host_credential``) or client-side wiring (or both;
+    a host can play both roles).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host,
+        port: int,
+        credential: Credential,
+        trust_anchors: Iterable[Certificate],
+        # server-side wiring
+        fs: Optional[VirtualFS] = None,
+        accounts: Optional[AccountsDb] = None,
+        nfs_port: int = 2049,
+        host_credential: Optional[Credential] = None,
+        # shared
+        proxy_cost=None,
+        cache_disk_factory=None,
+        authorized_admins: Optional[set] = None,
+    ):
+        def authorize(identity, action: str) -> bool:
+            # Session-management actions are open to any authenticated
+            # grid user (per-session authz happens in the DSS / gridmap);
+            # ACL-management actions require an admin DN.
+            if action in ("SetAcl", "RemoveAcl") and authorized_admins is not None:
+                return str(identity) in authorized_admins
+            return True
+
+        super().__init__(
+            sim, host, port, credential, trust_anchors,
+            name=f"fss:{host.name}", authorizer=authorize,
+        )
+        self.fs = fs
+        self.accounts = accounts
+        self.nfs_port = nfs_port
+        self.host_credential = host_credential
+        self.proxy_cost = proxy_cost
+        self.cache_disk_factory = cache_disk_factory
+        self.server_sessions: Dict[str, SgfsServerProxy] = {}
+        self.client_sessions: Dict[str, SgfsClientProxy] = {}
+
+        self.register("CreateServerSession", self._create_server_session)
+        self.register("CreateClientSession", self._create_client_session)
+        self.register("DestroySession", self._destroy_session)
+        self.register("ReconfigureSession", self._reconfigure_session)
+        self.register("SetAcl", self._set_acl)
+        self.register("RemoveAcl", self._remove_acl)
+
+    # -- server side -----------------------------------------------------------
+
+    def _create_server_session(self, identity, params):
+        if self.fs is None or self.accounts is None or self.host_credential is None:
+            raise SoapFault("Server", "this FSS has no server-side wiring")
+        suite = params.get("suite", "aes-256-cbc-sha1")
+        gridmap = Gridmap.parse(params.get("gridmap", ""))
+        port = int(params.get("port", 0)) or (24000 + next(_session_ids))
+        security = SecurityConfig.for_session(
+            self.host_credential, self.trust_anchors, suite,
+            rng=Drbg(f"fss-server-session-{port}"),
+        )
+        proxy = SgfsServerProxy(
+            self.sim, self.host, port, self.nfs_port,
+            accounts=self.accounts, gridmap=gridmap, fs=self.fs,
+            security=security,
+            cost=self.proxy_cost if self.proxy_cost is not None else _default_cost(),
+        )
+        proxy.start()
+        session_id = f"srv-{port}"
+        self.server_sessions[session_id] = proxy
+        return {"session_id": session_id, "port": str(port), "host": self.host.name}
+
+    # -- client side ------------------------------------------------------------
+
+    def _create_client_session(self, identity, params):
+        blob_b64 = params.get("credential")
+        if not blob_b64:
+            raise SoapFault("Client", "missing delegated credential")
+        try:
+            blob = open_sealed(base64.b64decode(blob_b64), self.credential.keypair)
+            user_cred = Credential.from_bytes(blob)
+        except Exception as exc:
+            raise SoapFault("Security", f"cannot unwrap credential: {exc}") from None
+        # Possession of a delegated credential is the authority (GSI
+        # semantics): validate its chain up to a trusted CA.  The caller
+        # may be the user directly, or the DSS acting on the user's
+        # behalf (§3.2).
+        from repro.gsi.certs import ValidationError, validate_chain
+
+        try:
+            validate_chain(
+                user_cred.certificate, user_cred.chain, self.trust_anchors, self.sim.now
+            )
+        except ValidationError as exc:
+            raise SoapFault("Security", f"delegated credential invalid: {exc}") from None
+        suite = params.get("suite", "aes-256-cbc-sha1")
+        server_host = params["server_host"]
+        server_port = int(params["server_port"])
+        port = int(params.get("port", 0)) or (25000 + next(_session_ids))
+        disk_cache = params.get("disk_cache", "off") == "on"
+        client_cfg = SecurityConfig.for_session(
+            user_cred, self.trust_anchors, suite,
+            rng=Drbg(f"fss-client-session-{port}"),
+        )
+        sim, host = self.sim, self.host
+
+        def upstream_factory():
+            sock = yield from host.connect(server_host, server_port)
+            channel = yield from client_handshake(
+                sim, sock, client_cfg, cpu=host.cpu, account="proxy"
+            )
+            return channel
+
+        disk = None
+        if disk_cache and self.cache_disk_factory is not None:
+            disk = self.cache_disk_factory()
+        proxy = SgfsClientProxy(
+            sim, host, port,
+            upstream_factory=upstream_factory,
+            cost=self.proxy_cost if self.proxy_cost is not None else _default_cost(),
+            cache=ProxyCacheConfig(enabled=disk_cache),
+            disk=disk,
+        )
+
+        def handler_body():
+            yield from proxy.start()
+            session_id = f"cli-{port}"
+            self.client_sessions[session_id] = proxy
+            return {"session_id": session_id, "port": str(port), "host": host.name}
+
+        return handler_body()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _destroy_session(self, identity, params):
+        session_id = params.get("session_id", "")
+        proxy = self.server_sessions.pop(session_id, None)
+        if proxy is not None:
+            proxy.stop()
+            return {"destroyed": session_id}
+        cproxy = self.client_sessions.pop(session_id, None)
+        if cproxy is not None:
+
+            def drain():
+                yield from cproxy.writeback()
+                cproxy.stop()
+                return {"destroyed": session_id}
+
+            return drain()
+        raise SoapFault("Client", f"unknown session {session_id!r}")
+
+    def _reconfigure_session(self, identity, params):
+        """Dynamic reconfiguration (§4.2): reload gridmap / rekey."""
+        session_id = params.get("session_id", "")
+        proxy = self.server_sessions.get(session_id)
+        if proxy is None:
+            raise SoapFault("Client", f"unknown session {session_id!r}")
+        if "gridmap" in params:
+            proxy.reload(gridmap=Gridmap.parse(params["gridmap"]))
+        return {"reconfigured": session_id}
+
+    # -- fine-grained ACL management (§4.4) -------------------------------------------
+
+    def _set_acl(self, identity, params):
+        if self.fs is None:
+            raise SoapFault("Server", "no server-side wiring")
+        from repro.proxy.acl import AclStore, parse_acl_text
+
+        path = params.get("path", "")
+        entries = parse_acl_text(params.get("acl", ""))
+        node = self.fs.resolve(path.rpartition("/")[0] or "/")
+        name = path.rpartition("/")[2]
+        store = self._acl_store()
+        store.set_acl(node.fileid, name, entries)
+        return {"acl_set": path}
+
+    def _remove_acl(self, identity, params):
+        if self.fs is None:
+            raise SoapFault("Server", "no server-side wiring")
+        path = params.get("path", "")
+        node = self.fs.resolve(path.rpartition("/")[0] or "/")
+        self._acl_store().remove_acl(node.fileid, path.rpartition("/")[2])
+        return {"acl_removed": path}
+
+    def _acl_store(self):
+        # Use the live proxy's store when a session exists (keeps its
+        # in-memory ACL cache coherent), else a fresh one.
+        for proxy in self.server_sessions.values():
+            return proxy.acls
+        from repro.proxy.acl import AclStore
+
+        return AclStore(self.fs)
+
+
+def _default_cost():
+    from repro.core.calibration import DEFAULT_CALIBRATION
+
+    return DEFAULT_CALIBRATION.proxy_cost

@@ -1,0 +1,186 @@
+"""SOAP-like envelopes with WS-Security-style protection.
+
+An envelope carries an action, a body of simple key/value parameters,
+and a Security header holding:
+
+- a ``BinarySecurityToken``: the sender's certificate (and chain) in
+  base64 of our canonical encoding,
+- a ``Timestamp`` and ``Nonce`` (replay protection),
+- a ``Signature`` over the canonical bytes of Body + Timestamp + Nonce,
+  made with the sender's RSA key.
+
+``verify_envelope`` checks the signature, validates the certificate
+chain against trust anchors, enforces timestamp freshness, and returns
+the authenticated (base) grid identity — proxy certificates resolve to
+the delegating user, which is how the DSS acts "as" a user toward the
+FSSs.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.gsi.certs import Certificate, Credential, ValidationError, validate_chain
+from repro.gsi.names import DistinguishedName
+from repro.gsi.proxy import effective_identity
+from repro.services.xmlmini import XmlElement, XmlError, parse
+
+#: Maximum allowed clock skew / message age in virtual seconds.
+MAX_MESSAGE_AGE = 300.0
+
+
+class SoapFault(Exception):
+    """A fault reply or a security failure while processing a message."""
+
+    def __init__(self, code: str, reason: str):
+        super().__init__(f"{code}: {reason}")
+        self.code = code
+        self.reason = reason
+
+
+@dataclass
+class SoapEnvelope:
+    """A parsed/built SOAP message."""
+
+    action: str
+    body: Dict[str, str] = field(default_factory=dict)
+    timestamp: float = 0.0
+    nonce: str = ""
+    signature: bytes = b""
+    certificate: Optional[Certificate] = None
+    chain: Tuple[Certificate, ...] = ()
+
+    # -- XML mapping ---------------------------------------------------------
+
+    def _body_element(self) -> XmlElement:
+        body = XmlElement("Body")
+        act = body.element("Action", self.action)
+        params = body.element("Parameters")
+        for key in sorted(self.body):
+            params.element("Param", self.body[key], name=key)
+        return body
+
+    def _signed_bytes(self) -> bytes:
+        signed = XmlElement("SignedInfo")
+        signed.element("Timestamp", repr(self.timestamp))
+        signed.element("Nonce", self.nonce)
+        signed.add(self._body_element())
+        return signed.canonical()
+
+    def to_xml(self) -> bytes:
+        env = XmlElement("Envelope")
+        header = env.element("Header")
+        sec = header.element("Security")
+        if self.certificate is not None:
+            token = sec.element("BinarySecurityToken")
+            token.element(
+                "Certificate",
+                base64.b64encode(self.certificate.to_bytes()).decode("ascii"),
+            )
+            for cert in self.chain:
+                token.element(
+                    "ChainCertificate",
+                    base64.b64encode(cert.to_bytes()).decode("ascii"),
+                )
+        sec.element("Timestamp", repr(self.timestamp))
+        sec.element("Nonce", self.nonce)
+        if self.signature:
+            sec.element(
+                "SignatureValue", base64.b64encode(self.signature).decode("ascii")
+            )
+        env.add(self._body_element())
+        return env.canonical()
+
+    @classmethod
+    def from_xml(cls, data: bytes) -> "SoapEnvelope":
+        try:
+            env = parse(data)
+        except XmlError as exc:
+            raise SoapFault("Client", f"malformed envelope: {exc}") from None
+        if env.tag != "Envelope":
+            raise SoapFault("Client", f"not an Envelope: <{env.tag}>")
+        sec = env.require("Header").require("Security")
+        body = env.require("Body")
+        action = body.get_text("Action")
+        params: Dict[str, str] = {}
+        params_el = body.find("Parameters")
+        if params_el is not None:
+            for p in params_el.find_all("Param"):
+                params[p.attrs.get("name", "")] = p.text
+        cert = None
+        chain: Tuple[Certificate, ...] = ()
+        token = sec.find("BinarySecurityToken")
+        if token is not None:
+            cert_el = token.find("Certificate")
+            if cert_el is not None:
+                cert = Certificate.from_bytes(base64.b64decode(cert_el.text))
+            chain = tuple(
+                Certificate.from_bytes(base64.b64decode(c.text))
+                for c in token.find_all("ChainCertificate")
+            )
+        sig_el = sec.find("SignatureValue")
+        signature = base64.b64decode(sig_el.text) if sig_el is not None else b""
+        try:
+            timestamp = float(sec.get_text("Timestamp", "0"))
+        except ValueError:
+            raise SoapFault("Client", "bad timestamp") from None
+        return cls(
+            action=action, body=params, timestamp=timestamp,
+            nonce=sec.get_text("Nonce"), signature=signature,
+            certificate=cert, chain=chain,
+        )
+
+
+def sign_envelope(
+    envelope: SoapEnvelope, credential: Credential, now: float, nonce: str
+) -> SoapEnvelope:
+    """Attach timestamp, nonce, token and signature."""
+    envelope.timestamp = now
+    envelope.nonce = nonce
+    envelope.certificate = credential.certificate
+    envelope.chain = tuple(credential.chain)
+    envelope.signature = credential.keypair.sign(envelope._signed_bytes())
+    return envelope
+
+
+def verify_envelope(
+    envelope: SoapEnvelope,
+    trust_anchors: Iterable[Certificate],
+    now: float,
+    seen_nonces: Optional[set] = None,
+) -> DistinguishedName:
+    """Authenticate a received envelope; returns the base grid identity.
+
+    Raises :class:`SoapFault` on any violation: missing token, bad
+    signature, invalid chain, stale timestamp, replayed nonce.
+    """
+    if envelope.certificate is None:
+        raise SoapFault("Security", "no security token")
+    if not envelope.signature:
+        raise SoapFault("Security", "unsigned message")
+    if not envelope.certificate.public_key.verify(
+        envelope._signed_bytes(), envelope.signature
+    ):
+        raise SoapFault("Security", "signature verification failed")
+    try:
+        identity = validate_chain(
+            envelope.certificate, envelope.chain, trust_anchors, now
+        )
+    except ValidationError as exc:
+        raise SoapFault("Security", f"certificate rejected: {exc}") from None
+    if abs(now - envelope.timestamp) > MAX_MESSAGE_AGE:
+        raise SoapFault("Security", "message timestamp outside freshness window")
+    if seen_nonces is not None:
+        if envelope.nonce in seen_nonces:
+            raise SoapFault("Security", "replayed nonce")
+        seen_nonces.add(envelope.nonce)
+    # Delegation: a proxy certificate authenticates as the base identity.
+    if envelope.certificate.is_proxy:
+        return effective_identity(envelope.certificate.subject)
+    return identity
+
+
+def fault_envelope(code: str, reason: str) -> SoapEnvelope:
+    return SoapEnvelope(action="Fault", body={"code": code, "reason": reason})

@@ -1,0 +1,154 @@
+"""Minimal XML: enough for SOAP envelopes with a canonical form.
+
+Supports elements, attributes, text content and nesting — no namespaces
+beyond literal prefixes, no entities beyond the five standard ones, no
+comments/PIs.  ``canonical()`` produces a deterministic byte encoding
+(sorted attributes, no insignificant whitespace) which is what the
+WS-Security-style signature covers; ``parse`` round-trips it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class XmlError(Exception):
+    """Malformed XML input."""
+
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;"), ('"', "&quot;"), ("'", "&apos;")]
+
+
+def _escape(text: str) -> str:
+    for raw, esc in _ESCAPES:
+        text = text.replace(raw, esc)
+    return text
+
+
+def _unescape(text: str) -> str:
+    for raw, esc in reversed(_ESCAPES):
+        text = text.replace(esc, raw)
+    return text
+
+
+class XmlElement:
+    """An element with attributes, text, and child elements."""
+
+    def __init__(self, tag: str, text: str = "", attrs: Optional[Dict[str, str]] = None):
+        if not tag or any(c in tag for c in " <>&\"'"):
+            raise XmlError(f"bad tag {tag!r}")
+        self.tag = tag
+        self.text = text
+        self.attrs: Dict[str, str] = dict(attrs or {})
+        self.children: List["XmlElement"] = []
+
+    # -- building ------------------------------------------------------------
+
+    def add(self, child: "XmlElement") -> "XmlElement":
+        self.children.append(child)
+        return child
+
+    def element(self, tag: str, text: str = "", **attrs: str) -> "XmlElement":
+        """Create, append and return a child element."""
+        return self.add(XmlElement(tag, text, attrs))
+
+    # -- navigation -----------------------------------------------------------
+
+    def find(self, tag: str) -> Optional["XmlElement"]:
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> List["XmlElement"]:
+        return [c for c in self.children if c.tag == tag]
+
+    def require(self, tag: str) -> "XmlElement":
+        found = self.find(tag)
+        if found is None:
+            raise XmlError(f"<{self.tag}> has no <{tag}> child")
+        return found
+
+    def get_text(self, tag: str, default: str = "") -> str:
+        found = self.find(tag)
+        return found.text if found is not None else default
+
+    # -- serialization ------------------------------------------------------------
+
+    def canonical(self) -> bytes:
+        """Deterministic encoding: sorted attributes, no whitespace."""
+        parts = [f"<{self.tag}"]
+        for key in sorted(self.attrs):
+            parts.append(f' {key}="{_escape(self.attrs[key])}"')
+        parts.append(">")
+        parts.append(_escape(self.text))
+        for child in self.children:
+            parts.append(child.canonical().decode("utf-8"))
+        parts.append(f"</{self.tag}>")
+        return "".join(parts).encode("utf-8")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XmlElement {self.tag} attrs={self.attrs} children={len(self.children)}>"
+
+
+def parse(data: bytes | str) -> XmlElement:
+    """Parse canonical-form XML back into elements."""
+    text = data.decode("utf-8") if isinstance(data, bytes) else data
+    pos = 0
+
+    def parse_element() -> Tuple[XmlElement, int]:
+        nonlocal pos
+        if pos >= len(text) or text[pos] != "<":
+            raise XmlError(f"expected '<' at offset {pos}")
+        end = text.find(">", pos)
+        if end < 0:
+            raise XmlError("unterminated tag")
+        header = text[pos + 1 : end]
+        if header.endswith("/"):
+            raise XmlError("self-closing tags not in canonical form")
+        pos = end + 1
+        tag, attrs = _parse_header(header)
+        elem = XmlElement(tag, attrs=attrs)
+        # text content up to the next tag
+        nxt = text.find("<", pos)
+        if nxt < 0:
+            raise XmlError(f"unclosed element <{tag}>")
+        elem.text = _unescape(text[pos:nxt])
+        pos = nxt
+        while True:
+            if text.startswith("</", pos):
+                close = text.find(">", pos)
+                if close < 0:
+                    raise XmlError("unterminated close tag")
+                if text[pos + 2 : close] != tag:
+                    raise XmlError(
+                        f"mismatched close: <{tag}> vs </{text[pos + 2 : close]}>"
+                    )
+                pos = close + 1
+                return elem, pos
+            child, pos = parse_element()
+            elem.children.append(child)
+            nxt = text.find("<", pos)
+            if nxt < 0:
+                raise XmlError(f"unclosed element <{tag}>")
+            pos = nxt
+
+    def _parse_header(header: str) -> Tuple[str, Dict[str, str]]:
+        parts = header.split(" ")
+        tag = parts[0]
+        attrs: Dict[str, str] = {}
+        for chunk in parts[1:]:
+            if not chunk:
+                continue
+            if "=" not in chunk:
+                raise XmlError(f"bad attribute {chunk!r}")
+            key, _, value = chunk.partition("=")
+            if len(value) < 2 or value[0] != '"' or value[-1] != '"':
+                raise XmlError(f"attribute value must be quoted: {chunk!r}")
+            attrs[key] = _unescape(value[1:-1])
+        return tag, attrs
+
+    elem, pos = parse_element()
+    if text[pos:].strip():
+        raise XmlError("trailing content after document element")
+    return elem

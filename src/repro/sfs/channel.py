@@ -1,0 +1,224 @@
+"""SFS secure channel: raw-key handshake, RC4+SHA1 records.
+
+Unlike the GSI/TLS channel, SFS needs no certificates: the *server* is
+authenticated because its public key must hash to the HostID embedded
+in the self-certifying pathname, and the *user* is authenticated by a
+signature with a key the server's authserver already knows (modeled as
+an authorized-keys set).  Bulk protection approximates SFS's customized
+RC4 + SHA1-HMAC, which the paper likens to the sgfs-rc configuration.
+
+The channel object returned is a :class:`~repro.tls.channel.SecureChannel`
+work-alike built from the same record machinery, so the proxy/daemon
+layers treat both identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.crypto.drbg import Drbg
+from repro.crypto.hmac import constant_time_equal, hmac_sha256
+from repro.crypto.rsa import CryptoError, RsaKeyPair, RsaPublicKey
+from repro.crypto.suites import SUITE_RC4_SHA, CipherSuite, derive_key_block
+from repro.rpc.record import RecordReader, RecordWriter
+from repro.rpc.transport import Transport
+from repro.sfs.paths import SelfCertifyingPath
+from repro.sim.core import Simulator
+from repro.tls.channel import CPU_HZ, CRYPTO_CPU_FRACTION
+from repro.xdr import Packer, Unpacker
+
+#: CPU for the public-key operations of an SFS connection setup.
+SFS_HANDSHAKE_CPU = 0.005
+
+
+class SfsAuthError(Exception):
+    """Server key does not match the HostID, or user key not authorized."""
+
+
+class SfsChannel(Transport):
+    """Record transport with RC4+SHA1-class protection."""
+
+    def __init__(self, sim: Simulator, sock, suite: CipherSuite, key_block: bytes,
+                 is_client: bool, cpu=None, account: str = "sfsd",
+                 fast: bool = True, peer_key: Optional[RsaPublicKey] = None):
+        self.sim = sim
+        self.sock = sock
+        self.suite = suite
+        self.cpu = cpu
+        self.account = account
+        self.peer_key = peer_key
+        half = len(key_block) // 2
+        c2s, s2c = key_block[:half], key_block[half:]
+        mine, theirs = (c2s, s2c) if is_client else (s2c, c2s)
+
+        def make(material: bytes):
+            mac_key = material[: suite.mac.key_len]
+            ck = material[suite.mac.key_len : suite.mac.key_len + suite.cipher.key_len]
+            iv = material[suite.mac.key_len + suite.cipher.key_len :]
+            return suite.cipher.new_state(ck, iv[: suite.cipher.iv_len], fast), mac_key
+
+        self._enc, self._enc_mac = make(mine)
+        self._dec, self._dec_mac = make(theirs)
+        self._enc_seq = 0
+        self._dec_seq = 0
+        self._writer = RecordWriter(sock)
+        self._reader = RecordReader()
+        self._eof = False
+
+    def charge(self, nbytes: int):
+        if nbytes <= 0:
+            return
+        cost = self.suite.cycles_per_byte * nbytes / CPU_HZ
+        if self.cpu is not None:
+            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, self.account)
+            yield self.sim.timeout(cost * (1.0 - CRYPTO_CPU_FRACTION))
+        else:
+            yield self.sim.timeout(cost)
+
+    def send_record(self, record: bytes) -> None:
+        mac = self.suite.mac.compute(
+            self._enc_mac, self._enc_seq.to_bytes(8, "big") + record
+        )
+        self._enc_seq += 1
+        self._writer.write(self._enc.encrypt(record + mac))
+
+    def recv_record(self):
+        while True:
+            frame = self._reader.next_record()
+            if frame is not None:
+                plain = self._dec.decrypt(frame)
+                n = self.suite.mac.digest_len
+                if len(plain) < n:
+                    raise SfsAuthError("short SFS record")
+                record, mac = plain[:-n], plain[-n:]
+                expect = self.suite.mac.compute(
+                    self._dec_mac, self._dec_seq.to_bytes(8, "big") + record
+                )
+                if not constant_time_equal(mac, expect):
+                    raise SfsAuthError("SFS record MAC failure")
+                self._dec_seq += 1
+                yield from self.charge(len(record))
+                return record
+            if self._eof:
+                return None
+            chunk = yield from self.sock.recv()
+            if chunk == b"":
+                self._eof = True
+                if self._reader.pending == 0:
+                    return None
+            else:
+                self._reader.feed(chunk)
+
+    def close(self) -> None:
+        self.sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.sock.closed
+
+
+def _read_frame(sock, reader: RecordReader):
+    while True:
+        frame = reader.next_record()
+        if frame is not None:
+            return frame
+        data = yield from sock.recv()
+        if data == b"":
+            return None
+        reader.feed(data)
+
+
+def sfs_client_channel(
+    sim: Simulator,
+    sock,
+    path: SelfCertifyingPath,
+    user_key: RsaKeyPair,
+    rng: Drbg,
+    cpu=None,
+    account: str = "sfsd",
+    suite: CipherSuite = SUITE_RC4_SHA,
+    fast: bool = True,
+):
+    """Process generator: connect-side handshake.
+
+    1. server sends its public key; client checks it against the HostID;
+    2. client sends a session secret encrypted to the server key, plus
+       its user public key and a signature binding both;
+    3. both derive the key block.
+    """
+    reader = RecordReader()
+    writer = RecordWriter(sock)
+    if cpu is not None:
+        yield from cpu.consume(SFS_HANDSHAKE_CPU, account)
+    frame = yield from _read_frame(sock, reader)
+    if frame is None:
+        raise SfsAuthError("server closed during handshake")
+    server_key = RsaPublicKey.from_bytes(frame)
+    if not path.verify_key(server_key):
+        raise SfsAuthError(
+            f"server key does not match HostID {path.host_id} — refusing"
+        )
+    secret = rng.randbytes(32)
+    wrapped = server_key.encrypt(secret, rng)
+    sig = user_key.sign(b"sfs-auth:" + wrapped)
+    p = Packer()
+    p.pack_opaque(wrapped)
+    p.pack_opaque(user_key.public.to_bytes())
+    p.pack_opaque(sig)
+    writer.write(p.get_bytes())
+    frame = yield from _read_frame(sock, reader)
+    if frame != b"OK":
+        raise SfsAuthError("server rejected user authentication")
+    key_block = derive_key_block(
+        hmac_sha256(secret, b"sfs-session"), "sfs keys", suite.key_material_len
+    )
+    return SfsChannel(sim, sock, suite, key_block, is_client=True, cpu=cpu,
+                      account=account, fast=fast, peer_key=server_key)
+
+
+def sfs_server_channel(
+    sim: Simulator,
+    sock,
+    server_key: RsaKeyPair,
+    authorized_users: Set[bytes],
+    cpu=None,
+    account: str = "sfssd",
+    suite: CipherSuite = SUITE_RC4_SHA,
+    fast: bool = True,
+):
+    """Process generator: accept-side handshake.
+
+    ``authorized_users`` holds canonical public-key encodings the
+    authserver vouches for.
+    """
+    reader = RecordReader()
+    writer = RecordWriter(sock)
+    writer.write(server_key.public.to_bytes())
+    frame = yield from _read_frame(sock, reader)
+    if frame is None:
+        raise SfsAuthError("client closed during handshake")
+    if cpu is not None:
+        yield from cpu.consume(SFS_HANDSHAKE_CPU, account)
+    u = Unpacker(frame)
+    wrapped = u.unpack_opaque()
+    user_key_bytes = u.unpack_opaque()
+    sig = u.unpack_opaque()
+    user_key = RsaPublicKey.from_bytes(user_key_bytes)
+    if not user_key.verify(b"sfs-auth:" + wrapped, sig):
+        sock.abort()
+        raise SfsAuthError("bad user signature")
+    if user_key_bytes not in authorized_users:
+        writer.write(b"NO")
+        sock.close()
+        raise SfsAuthError("user key not authorized")
+    try:
+        secret = server_key.decrypt(wrapped)
+    except CryptoError as exc:
+        sock.abort()
+        raise SfsAuthError(f"bad key transport: {exc}") from None
+    writer.write(b"OK")
+    key_block = derive_key_block(
+        hmac_sha256(secret, b"sfs-session"), "sfs keys", suite.key_material_len
+    )
+    return SfsChannel(sim, sock, suite, key_block, is_client=False, cpu=cpu,
+                      account=account, fast=fast, peer_key=user_key)

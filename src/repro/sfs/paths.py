@@ -1,0 +1,80 @@
+"""Self-certifying pathnames: ``/sfs/@location,HostID/rest...``.
+
+The HostID is a hash of the server's public key (SFS used SHA-1 of the
+key plus location; we use SHA-256 of our canonical key encoding).  A
+client that is handed a pathname needs no further trust infrastructure:
+it connects to ``location`` and verifies that the server's key hashes to
+``HostID`` before sending a byte — "separating key management from file
+system security".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RsaPublicKey
+
+_B32_ALPHABET = "abcdefghijklmnopqrstuvwxyz234567"
+
+
+class SfsPathError(Exception):
+    """Malformed self-certifying pathname."""
+
+
+def _b32(data: bytes) -> str:
+    """Lowercase base32 without padding (SFS-style compact HostIDs)."""
+    bits = 0
+    acc = 0
+    out = []
+    for byte in data:
+        acc = (acc << 8) | byte
+        bits += 8
+        while bits >= 5:
+            bits -= 5
+            out.append(_B32_ALPHABET[(acc >> bits) & 31])
+    if bits:
+        out.append(_B32_ALPHABET[(acc << (5 - bits)) & 31])
+    return "".join(out)
+
+
+def host_id_for_key(location: str, key: RsaPublicKey) -> str:
+    """The HostID binding a location name to a public key."""
+    digest = hashlib.sha256(
+        b"sfs-hostid:" + location.encode("utf-8") + b":" + key.to_bytes()
+    ).digest()
+    return _b32(digest[:20])
+
+
+@dataclass(frozen=True)
+class SelfCertifyingPath:
+    """A parsed ``/sfs/@location,hostid/relative/path``."""
+
+    location: str
+    host_id: str
+    rest: str
+
+    @classmethod
+    def parse(cls, path: str) -> "SelfCertifyingPath":
+        if not path.startswith("/sfs/@"):
+            raise SfsPathError(f"not a self-certifying path: {path!r}")
+        body = path[len("/sfs/@"):]
+        head, _, rest = body.partition("/")
+        location, sep, host_id = head.partition(",")
+        if not sep or not location or not host_id:
+            raise SfsPathError(f"bad @location,hostid in {path!r}")
+        if any(c not in _B32_ALPHABET for c in host_id):
+            raise SfsPathError(f"HostID has non-base32 characters: {host_id!r}")
+        return cls(location, host_id, "/" + rest if rest else "/")
+
+    @classmethod
+    def for_server(cls, location: str, key: RsaPublicKey, rest: str = "/") -> "SelfCertifyingPath":
+        return cls(location, host_id_for_key(location, key), rest)
+
+    def verify_key(self, key: RsaPublicKey) -> bool:
+        """Does this server key hash to the HostID we were given?"""
+        return host_id_for_key(self.location, key) == self.host_id
+
+    def __str__(self) -> str:
+        rest = self.rest if self.rest != "/" else ""
+        return f"/sfs/@{self.location},{self.host_id}{rest}"

@@ -1,0 +1,258 @@
+"""Event loop and virtual clock.
+
+The design follows the classic calendar-queue pattern: a binary heap of
+``(time, seq, Event)`` entries, where ``seq`` is a monotonically
+increasing insertion counter that makes simultaneous events fire in a
+deterministic (FIFO) order.  Events are one-shot: they move from *pending*
+to either *succeeded* or *failed*, and callbacks registered on them run
+inline when they fire.
+
+This module knows nothing about processes; :mod:`repro.sim.process` builds
+generator-based coroutines on top of the primitives here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    schedules it to fire immediately (at the current simulation time,
+    after already-queued events for that instant).  When it fires, all
+    registered callbacks run with the event as their argument.
+
+    Events are also the unit a process may ``yield`` on: the process
+    resumes when the event fires, receiving ``event.value`` (or having
+    the failure exception raised inside it).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_scheduled", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._scheduled = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully."""
+        return self._value is not _PENDING and self._exc is None
+
+    @property
+    def failed(self) -> bool:
+        return self._exc is not None
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimError(f"event {self.name!r} has no value yet")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimError(f"event {self.name!r} already triggered")
+        self._value = value
+        self.sim._schedule(0.0, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._exc = exc
+        self._value = None
+        self.sim._schedule(0.0, self)
+        return self
+
+    # -- callbacks -----------------------------------------------------
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires.
+
+        If the event has already been *processed* the callback runs
+        immediately; this removes a whole class of registration races.
+        """
+        if self._scheduled and self.triggered:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        self._scheduled = True
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "failed" if self.failed else "ok"
+        return f"<Event {self.name!r} {state} @{self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._value = value
+        sim._schedule(delay, self)
+
+
+class Simulator:
+    """The virtual clock and event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(my_generator_fn(sim))
+        sim.run()          # until no events remain
+        sim.run(until=10)  # or until a deadline
+
+    The simulator is single-threaded and deterministic; two runs with the
+    same inputs produce identical traces.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute virtual time ``when``."""
+        if when < self.now:
+            raise SimError(f"call_at({when}) is in the past (now={self.now})")
+        ev = self.timeout(when - self.now)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` virtual seconds."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    def spawn(self, generator, name: str = "") -> "Any":
+        """Start a new process from a generator (see repro.sim.process)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- execution -----------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._fire()
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains or the deadline passes.
+
+        Returns the final simulation time.  ``max_events`` is a runaway
+        guard — a healthy experiment in this repository is well under it.
+        """
+        if self._running:
+            raise SimError("run() is not reentrant")
+        self._running = True
+        try:
+            n = 0
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    break
+                self.step()
+                n += 1
+                if n >= max_events:
+                    raise SimError(f"exceeded max_events={max_events}; runaway simulation?")
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_complete(self, proc) -> Any:
+        """Run until the given process finishes; return its value.
+
+        Raises the process's exception if it failed.
+        """
+        self.run_until_event(proc.completion)
+        if proc.completion.failed:
+            raise proc.completion.exception
+        return proc.completion.value
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` has fired."""
+        while not event._scheduled:
+            if not self._heap:
+                raise SimError("event queue drained before target event fired (deadlock?)")
+            self.step()
+        if event.failed:
+            raise event.exception  # type: ignore[misc]
+        return event.value

@@ -1,0 +1,196 @@
+"""Generator-based cooperative processes.
+
+A process is an ordinary Python generator driven by the simulator.  It
+may yield:
+
+- an :class:`~repro.sim.core.Event` (including timeouts) — the process
+  resumes when the event fires, receiving its value, or having its
+  failure exception raised at the yield point;
+- another :class:`Process` — shorthand for yielding its completion event
+  (a *join*);
+- ``None`` — yield the floor: reschedule immediately, letting other
+  events at the current instant run first.
+
+A process's ``completion`` event fires with the generator's return value,
+or fails with its uncaught exception.  Uncaught failures with no one
+joining are re-raised at the end of :func:`Simulator.run` would be ideal,
+but to keep the kernel small we instead surface them the first time
+anything joins the process, and :class:`ProcessDied` marks the condition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.core import Event, Interrupt, SimError, Simulator
+
+
+class ProcessDied(SimError):
+    """Joining a process that already failed re-raises its error wrapped here."""
+
+
+class Process:
+    """A cooperative process executing a generator on the virtual clock."""
+
+    __slots__ = ("sim", "name", "generator", "completion", "_waiting_on", "_started")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process needs a generator, got {type(generator).__name__}")
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "proc")
+        self.generator = generator
+        self.completion: Event = sim.event(name=f"completion:{self.name}")
+        self._waiting_on: Optional[Event] = None
+        self._started = False
+        # Start the process at the current instant, after pending events.
+        kick = sim.timeout(0.0)
+        kick.add_callback(self._resume)
+
+    # -- status --------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return not self.completion.triggered
+
+    # -- control -------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is a no-op (matching simpy).
+        """
+        if not self.alive:
+            return
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            # Detach from whatever it was waiting for; it resumes now.
+            self._waiting_on = None
+            ev = self.sim.event(name=f"interrupt:{self.name}")
+            ev.add_callback(lambda _e: self._throw(Interrupt(cause)))
+            ev.succeed()
+        else:
+            # Process is about to be resumed by a triggered event; queue
+            # the interrupt right behind it.
+            self.sim.call_later(0.0, lambda: self._throw(Interrupt(cause)))
+
+    # -- driving -------------------------------------------------------
+
+    def _resume(self, event: Optional[Event]) -> None:
+        """Advance the generator with the event's outcome."""
+        if not self.alive:
+            return
+        # Ignore stale wakeups from events we were detached from (interrupt).
+        if self._started and event is not None and event is not self._waiting_on:
+            return
+        self._waiting_on = None
+        self._started = True
+        try:
+            if event is not None and event.failed:
+                target = self.generator.throw(event.exception)  # type: ignore[arg-type]
+            else:
+                value = event.value if (event is not None and event.triggered) else None
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.completion.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.completion.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.completion.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.completion.fail(err)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if target is None:
+            ev = self.sim.timeout(0.0)
+        elif isinstance(target, Process):
+            ev = target.completion
+        elif isinstance(target, Event):
+            ev = target
+        else:
+            self._throw(TypeError(f"process {self.name!r} yielded {type(target).__name__}"))
+            return
+        self._waiting_on = ev
+        ev.add_callback(self._resume)
+
+    # -- joining -------------------------------------------------------
+
+    def result(self) -> Any:
+        """The process's return value; raises if unfinished or failed."""
+        if not self.completion.triggered:
+            raise SimError(f"process {self.name!r} still running")
+        if self.completion.failed:
+            raise ProcessDied(self.name) from self.completion.exception
+        return self.completion.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else ("failed" if self.completion.failed else "done")
+        return f"<Process {self.name!r} {state}>"
+
+
+def all_of(sim: Simulator, events: list) -> Event:
+    """An event that fires once every listed event/process has fired.
+
+    Its value is the list of individual values, in input order.  The
+    first failure fails the aggregate immediately.
+    """
+    done = sim.event(name="all_of")
+    pending = [e.completion if isinstance(e, Process) else e for e in events]
+    remaining = len(pending)
+    values: list[Any] = [None] * len(pending)
+    if remaining == 0:
+        return done.succeed([])
+
+    def make_cb(i: int):
+        def cb(ev: Event) -> None:
+            nonlocal remaining
+            if done.triggered:
+                return
+            if ev.failed:
+                done.fail(ev.exception)  # type: ignore[arg-type]
+                return
+            values[i] = ev.value
+            remaining -= 1
+            if remaining == 0:
+                done.succeed(values)
+
+        return cb
+
+    for i, ev in enumerate(pending):
+        ev.add_callback(make_cb(i))
+    return done
+
+
+def any_of(sim: Simulator, events: list) -> Event:
+    """An event that fires with (index, value) of the first event to fire."""
+    done = sim.event(name="any_of")
+    pending = [e.completion if isinstance(e, Process) else e for e in events]
+    if not pending:
+        raise SimError("any_of() needs at least one event")
+
+    def make_cb(i: int):
+        def cb(ev: Event) -> None:
+            if done.triggered:
+                return
+            if ev.failed:
+                done.fail(ev.exception)  # type: ignore[arg-type]
+            else:
+                done.succeed((i, ev.value))
+
+        return cb
+
+    for i, ev in enumerate(pending):
+        ev.add_callback(make_cb(i))
+    return done

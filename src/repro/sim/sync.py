@@ -1,0 +1,218 @@
+"""Inter-process synchronization primitives.
+
+These are the building blocks the network and RPC layers are made of:
+
+- :class:`Channel` — an unbounded FIFO of messages with blocking ``get``;
+  the basic mailbox between simulated processes.
+- :class:`Store` — a bounded buffer with blocking ``put`` and ``get``
+  (used to model bounded socket buffers / flow control).
+- :class:`Semaphore` — counted resource with FIFO queuing (CPU cores,
+  connection limits, request-concurrency caps).
+- :class:`Gate` — a level-triggered condition processes can wait on.
+
+All waiters are served strictly FIFO to keep runs deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Event, SimError, Simulator
+
+
+class Channel:
+    """Unbounded FIFO message queue.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the
+    next message (immediately if one is already queued).  ``close`` makes
+    all current and future gets fail with :class:`ChannelClosed`.
+    """
+
+    __slots__ = ("sim", "name", "_items", "_getters", "_closed")
+
+    def __init__(self, sim: Simulator, name: str = "chan"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        if self._closed:
+            raise ChannelClosed(self.name)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.sim.event(name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        elif self._closed:
+            ev.fail(ChannelClosed(self.name))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: (True, item) or (False, None)."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def close(self) -> None:
+        """Close the channel; queued items are still deliverable."""
+        self._closed = True
+        # Waiters can never be satisfied now.
+        while self._getters:
+            self._getters.popleft().fail(ChannelClosed(self.name))
+
+
+class ChannelClosed(SimError):
+    """Raised by Channel.get when the channel was closed."""
+
+
+class Store:
+    """Bounded buffer with blocking put and get (FIFO fairness)."""
+
+    __slots__ = ("sim", "name", "capacity", "_items", "_getters", "_putters")
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "store"):
+        if capacity < 1:
+            raise SimError("Store capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = self.sim.event(name=f"put:{self.name}")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = self.sim.event(name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+        elif self._putters:
+            put_ev, item = self._putters.popleft()
+            put_ev.succeed()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _admit_putter(self) -> None:
+        if self._putters and len(self._items) < self.capacity:
+            put_ev, item = self._putters.popleft()
+            self._items.append(item)
+            put_ev.succeed()
+
+
+class Semaphore:
+    """Counted resource with FIFO queuing.
+
+    Usage inside a process::
+
+        yield sem.acquire()
+        try:
+            ...
+        finally:
+            sem.release()
+    """
+
+    __slots__ = ("sim", "name", "capacity", "_in_use", "_waiters")
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "sem"):
+        if capacity < 1:
+            raise SimError("Semaphore capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = self.sim.event(name=f"acq:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimError(f"semaphore {self.name!r} released while free")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Gate:
+    """A level-triggered condition.
+
+    While *open*, waits pass immediately; while *closed*, waiters queue
+    until the gate opens.  Useful for pause/resume of forwarding during
+    proxy reconfiguration.
+    """
+
+    __slots__ = ("sim", "name", "_open", "_waiters")
+
+    def __init__(self, sim: Simulator, open: bool = True, name: str = "gate"):
+        self.sim = sim
+        self.name = name
+        self._open = open
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        ev = self.sim.event(name=f"wait:{self.name}")
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        self._open = True
+        while self._waiters:
+            self._waiters.popleft().succeed()
+
+    def close(self) -> None:
+        self._open = False

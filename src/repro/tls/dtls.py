@@ -1,0 +1,150 @@
+"""DTLS-style datagram protection.
+
+The paper's secure RPC library leans on OpenSSL's then-new datagram
+support (DTLS) to secure RPC over UDP (§4.1).  This module provides the
+datagram analog of the stream channel: each datagram is independently
+protected — explicit 64-bit sequence number, per-suite cipher, and
+SHA1-HMAC — with an anti-replay sliding window on receive, since
+datagrams may be duplicated (retransmission) or reordered.
+
+Key establishment reuses the session's master secret (in SGFS the
+stream handshake has already authenticated both ends; DTLS keys are
+derived from the same secret with a distinct label), so a
+:class:`DatagramProtector` is constructed directly from key material
+rather than running a second handshake.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.hmac import constant_time_equal
+from repro.crypto.suites import CipherSuite, SUITE_AES_SHA, derive_key_block
+
+
+class DtlsError(Exception):
+    """Bad datagram: forged, corrupted, or replayed."""
+
+
+class ReplayWindow:
+    """RFC 4347-style 64-entry anti-replay window."""
+
+    def __init__(self, size: int = 64):
+        self.size = size
+        self._highest = -1
+        self._bits = 0
+
+    def check_and_update(self, seq: int) -> bool:
+        """True if ``seq`` is fresh; records it.  False for replays."""
+        if seq > self._highest:
+            shift = seq - self._highest
+            self._bits = ((self._bits << shift) | 1) & ((1 << self.size) - 1)
+            self._highest = seq
+            return True
+        offset = self._highest - seq
+        if offset >= self.size:
+            return False  # too old to judge: reject
+        mask = 1 << offset
+        if self._bits & mask:
+            return False  # seen before
+        self._bits |= mask
+        return True
+
+
+class DatagramProtector:
+    """Seals/opens individual datagrams for one direction pair.
+
+    Construct a matched pair with :func:`protector_pair`.
+    """
+
+    def __init__(self, suite: CipherSuite, send_material: bytes,
+                 recv_material: bytes, fast: bool = True):
+        self.suite = suite
+
+        def split(material: bytes):
+            mac_key = material[: suite.mac.key_len]
+            key = material[suite.mac.key_len: suite.mac.key_len + suite.cipher.key_len]
+            iv = material[
+                suite.mac.key_len + suite.cipher.key_len:
+                suite.mac.key_len + suite.cipher.key_len + suite.cipher.iv_len
+            ]
+            return mac_key, key, iv
+
+        s_mac, s_key, s_iv = split(send_material)
+        r_mac, r_key, r_iv = split(recv_material)
+        self._send_mac = s_mac
+        self._recv_mac = r_mac
+        # Per-datagram independence: derive a fresh keystream per seq by
+        # folding the sequence number into the IV position via a fresh
+        # state per datagram (stream state reuse would break under loss).
+        self._send_params = (s_key, s_iv, fast)
+        self._recv_params = (r_key, r_iv, fast)
+        self._send_seq = 0
+        self._window = ReplayWindow()
+        self.replays_rejected = 0
+        self.macs_rejected = 0
+
+    def _state(self, params, seq: int):
+        key, iv, fast = params
+        if self.suite.cipher.name == "null":
+            return self.suite.cipher.new_state(key, iv, fast)
+        # fold the sequence number into the IV (nonce construction)
+        seq_iv = bytearray(iv if iv else bytes(16))
+        seq_bytes = struct.pack(">Q", seq)
+        for i, b in enumerate(seq_bytes):
+            seq_iv[i % len(seq_iv)] ^= b
+        # RC4 has no IV: fold into the key instead
+        if self.suite.cipher.iv_len == 0:
+            mixed = bytearray(key)
+            for i, b in enumerate(seq_bytes):
+                mixed[i % len(mixed)] ^= b
+            return self.suite.cipher.new_state(bytes(mixed), b"", fast)
+        return self.suite.cipher.new_state(key, bytes(seq_iv), fast)
+
+    def seal(self, payload: bytes) -> bytes:
+        seq = self._send_seq
+        self._send_seq += 1
+        mac = self.suite.mac.compute(
+            self._send_mac, struct.pack(">Q", seq) + payload
+        )
+        body = self._state(self._send_params, seq).encrypt(payload + mac)
+        return struct.pack(">Q", seq) + body
+
+    def open(self, datagram: bytes) -> bytes:
+        if len(datagram) < 8:
+            raise DtlsError("short datagram")
+        seq = struct.unpack(">Q", datagram[:8])[0]
+        try:
+            plain = self._state(self._recv_params, seq).decrypt(datagram[8:])
+        except Exception as exc:
+            self.macs_rejected += 1
+            raise DtlsError(f"decrypt failed: {exc}") from None
+        n = self.suite.mac.digest_len
+        if n:
+            if len(plain) < n:
+                self.macs_rejected += 1
+                raise DtlsError("datagram shorter than MAC")
+            payload, mac = plain[:-n], plain[-n:]
+            expect = self.suite.mac.compute(
+                self._recv_mac, struct.pack(">Q", seq) + payload
+            )
+            if not constant_time_equal(mac, expect):
+                self.macs_rejected += 1
+                raise DtlsError("datagram MAC failure")
+        else:
+            payload = plain
+        if not self._window.check_and_update(seq):
+            self.replays_rejected += 1
+            raise DtlsError(f"replayed datagram seq={seq}")
+        return payload
+
+
+def protector_pair(master_secret: bytes, suite: CipherSuite = SUITE_AES_SHA,
+                   fast: bool = True):
+    """(client_protector, server_protector) sharing derived material."""
+    per_dir = suite.mac.key_len + suite.cipher.key_len + suite.cipher.iv_len
+    block = derive_key_block(master_secret, "dtls key expansion", 2 * per_dir)
+    c2s, s2c = block[:per_dir], block[per_dir:]
+    client = DatagramProtector(suite, c2s, s2c, fast)
+    server = DatagramProtector(suite, s2c, c2s, fast)
+    return client, server

@@ -1,0 +1,21 @@
+"""In-memory UNIX-like filesystem — the NFS server's backing store.
+
+Implements inodes (regular files, directories, symlinks), POSIX
+permission checks against (uid, gid, groups) credentials, hard links,
+rename semantics, and the error taxonomy NFSv3 reports.  A
+:class:`~repro.vfs.disk.DiskModel` attaches I/O timing so the simulated
+server pays realistic seek/transfer costs for synchronous updates.
+"""
+
+from repro.vfs.fs import VirtualFS, VfsError, Ftype, Inode, Credentials, Status
+from repro.vfs.disk import DiskModel
+
+__all__ = [
+    "VirtualFS",
+    "VfsError",
+    "Ftype",
+    "Inode",
+    "Credentials",
+    "Status",
+    "DiskModel",
+]

@@ -1,0 +1,30 @@
+"""Workloads: the four benchmarks of the evaluation (§6.2–6.3).
+
+- :mod:`repro.workloads.iozone` — IOzone read/reread: sequential read of
+  a file twice the client cache, twice (worst-case user-level overhead),
+- :mod:`repro.workloads.postmark` — PostMark: small-file create /
+  transaction / delete phases,
+- :mod:`repro.workloads.mab` — the Modified Andrew Benchmark over an
+  openssh-4.6p1-shaped source tree (copy / stat / search / compile),
+- :mod:`repro.workloads.seismic` — the SPEC HPC96 Seismic 4-phase
+  I/O + compute pipeline.
+
+Every workload drives only the public mountpoint API
+(:class:`repro.nfs.client.NfsClient`), exactly like an unmodified
+application over a kernel mount.
+"""
+
+from repro.workloads.iozone import IOzoneReadReread
+from repro.workloads.postmark import PostMark, PostMarkConfig
+from repro.workloads.mab import ModifiedAndrewBenchmark, SourceTree
+from repro.workloads.seismic import Seismic, SeismicConfig
+
+__all__ = [
+    "IOzoneReadReread",
+    "PostMark",
+    "PostMarkConfig",
+    "ModifiedAndrewBenchmark",
+    "SourceTree",
+    "Seismic",
+    "SeismicConfig",
+]

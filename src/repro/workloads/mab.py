@@ -1,0 +1,241 @@
+"""Modified Andrew Benchmark (§6.3.1).
+
+The paper replaces the original Andrew workload with the openssh-4.6p1
+source package: a 3-level tree with 13 directories and 449 files, whose
+compilation emits 194 binaries and object files.  Four phases:
+
+1. **copy** — copy the source tree *within the file system* (read every
+   source file through the mount, write the copy back through the
+   mount: many small reads, creations and writes),
+2. **stat** — recursively stat every file (metadata lookups),
+3. **search** — read every file fully, searching for a keyword,
+4. **compile** — compile the tree: per translation unit the "compiler"
+   stats its include path, opens and reads headers, burns CPU, writes
+   an object file; a final link reads all objects and writes binaries.
+
+The pristine tree is materialized directly in the exported filesystem
+by :meth:`ModifiedAndrewBenchmark.prepare` (the experiment's setup
+step); all phase I/O then flows through the mounted client, like an
+unmodified ``cp -r``/``ls -lR``/``grep -r``/``make``.
+
+Compile CPU is charged to the *client host's* core under the "app"
+account, so compilation genuinely competes with the user-level proxies
+for the one client CPU — reproducing the LAN compile overhead of
+Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.setups import Mount
+from repro.core.topology import Testbed
+from repro.crypto.drbg import Drbg
+from repro.nfs.client import NfsClientError
+from repro.vfs.fs import Credentials
+
+
+@dataclass
+class SourceTree:
+    """A synthetic openssh-4.6p1-shaped source tree."""
+
+    directories: List[str] = field(default_factory=list)
+    #: (path, size, compiles_to_object)
+    files: List[Tuple[str, int, bool]] = field(default_factory=list)
+    objects: int = 194
+
+    @classmethod
+    def openssh_like(cls, seed: str = "openssh-4.6p1") -> "SourceTree":
+        """13 directories, 449 files, 194 compilation units."""
+        rng = Drbg(seed)
+        tree = cls()
+        subdirs = [
+            "", "openbsd-compat", "scard", "contrib", "contrib/redhat",
+            "contrib/suse", "contrib/cygwin", "contrib/caldera", "regress",
+            "scp-ssh-wrapper", "ssh-rand-helper", "doc", "misc",
+        ]  # 13 directories including the root
+        tree.directories = subdirs
+        n_files = 449
+        n_objects = 194
+        for i in range(n_files):
+            is_source = i < n_objects  # the first 194 are .c files
+            d = subdirs[0] if (is_source and rng.random() < 0.7) else rng.choice(subdirs)
+            if is_source:
+                name = f"src{i}.c"
+                size = 2000 + rng.randint(0, 30000)  # typical .c file
+            else:
+                kind = rng.choice(["h", "m4", "txt", "sh", "conf"])
+                name = f"file{i}.{kind}"
+                size = 500 + rng.randint(0, 12000)
+            path = f"{d}/{name}" if d else name
+            tree.files.append((path, size, is_source))
+        tree.objects = n_objects
+        return tree
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(size for _p, size, _s in self.files)
+
+
+@dataclass
+class MabConfig:
+    #: compiler CPU seconds per source file (client-host compute)
+    compile_cpu_per_unit: float = 0.30
+    #: headers each translation unit opens and reads
+    headers_per_unit: int = 15
+    #: include-path existence probes (stat/access) per translation unit
+    include_probes_per_unit: int = 120
+    #: object file size ≈ source size × this
+    object_size_factor: float = 1.6
+    #: final link step: read all objects, write this many binaries
+    binaries: int = 12
+    keyword: bytes = b"SSH_PROTOCOL"
+    pristine_root: str = "/dist/openssh-4.6p1"
+    src_root: str = "/work/openssh-4.6p1"
+    build_root: str = "/work/build"
+
+
+class ModifiedAndrewBenchmark:
+    """MAB with per-phase timing."""
+
+    def __init__(self, tree: SourceTree | None = None, config: MabConfig | None = None):
+        self.tree = tree or SourceTree.openssh_like()
+        self.config = config or MabConfig()
+        self.results: Dict[str, float] = {}
+
+    def _content(self, size: int) -> bytes:
+        return (b"int main(void) { return ssh_main(); } /* filler */\n" * (size // 51 + 1))[:size]
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, tb: Testbed) -> None:
+        """Materialize the pristine source tree in the exported FS."""
+        cred = Credentials(tb.fs.root.uid, tb.fs.root.gid)
+        root = tb.fs.root.fileid
+
+        def ensure_dir(path: str) -> int:
+            node_id = root
+            for part in [p for p in path.split("/") if p]:
+                d = tb.fs.inode(node_id)
+                child = d.entries.get(part)
+                if child is None:
+                    node_id = tb.fs.mkdir(node_id, part, cred).fileid
+                else:
+                    node_id = child
+            return node_id
+
+        base = self.config.pristine_root
+        ensure_dir(base)
+        for d in self.tree.directories:
+            if d:
+                ensure_dir(f"{base}/{d}")
+        for path, size, _src in self.tree.files:
+            dir_path, _, name = f"{base}/{path}".rpartition("/")
+            dir_id = ensure_dir(dir_path)
+            node = tb.fs.create(dir_id, name, cred)
+            tb.fs.write(node.fileid, 0, self._content(size), cred)
+
+    # ------------------------------------------------------------------
+
+    def _mkdirs(self, cl, base: str):
+        if not (yield from cl.exists(base)):
+            parts = [p for p in base.split("/") if p]
+            for i in range(1, len(parts) + 1):
+                sub = "/" + "/".join(parts[:i])
+                if not (yield from cl.exists(sub)):
+                    yield from cl.mkdir(sub)
+        for d in self.tree.directories:
+            if d:
+                parts = d.split("/")
+                for i in range(1, len(parts) + 1):
+                    sub = f"{base}/{'/'.join(parts[:i])}"
+                    if not (yield from cl.exists(sub)):
+                        yield from cl.mkdir(sub)
+
+    def run(self, mount: Mount):
+        """Process generator; fills self.results per phase."""
+        sim = mount.tb.sim
+        cl = mount.client
+        cfg = self.config
+        cpu = mount.tb.client.cpu
+        t_start = sim.now
+
+        # ---- phase 1: copy (read pristine, write working copy) -------------
+        t0 = sim.now
+        yield from self._mkdirs(cl, cfg.src_root)
+        for path, _size, _src in self.tree.files:
+            data = yield from cl.read_file(f"{cfg.pristine_root}/{path}")
+            yield from cl.write_file(f"{cfg.src_root}/{path}", data)
+        self.results["copy"] = sim.now - t0
+
+        # ---- phase 2: stat -----------------------------------------------------
+        t1 = sim.now
+        stack = [cfg.src_root]
+        while stack:
+            d = stack.pop()
+            entries = yield from cl.readdir(d)
+            for e in entries:
+                full = f"{d}/{e.name}"
+                attr = yield from cl.stat(full)
+                if attr.is_dir:
+                    stack.append(full)
+        self.results["stat"] = sim.now - t1
+
+        # ---- phase 3: search ------------------------------------------------------
+        t2 = sim.now
+        found = 0
+        for path, _size, _src in self.tree.files:
+            data = yield from cl.read_file(f"{cfg.src_root}/{path}")
+            # the grep itself: trivial CPU per byte
+            yield from cpu.consume(len(data) * 0.4e-9, "app")
+            if cfg.keyword in data:
+                found += 1
+        self.results["search"] = sim.now - t2
+
+        # ---- phase 4: compile --------------------------------------------------------
+        t3 = sim.now
+        yield from self._mkdirs(cl, cfg.build_root)
+        headers = [p for p, _s, src in self.tree.files if not src]
+        probe_rng = Drbg("mab-include-probes")
+        objects: List[str] = []
+        unit_index = 0
+        for path, size, is_src in self.tree.files:
+            if not is_src:
+                continue
+            # compiler probes its include path (stat/access misses included)
+            for k in range(cfg.include_probes_per_unit):
+                probe = headers[(unit_index * 7 + k * 13) % len(headers)]
+                if probe_rng.random() < 0.4:
+                    try:
+                        yield from cl.stat(f"{cfg.src_root}/{probe}")
+                    except NfsClientError:
+                        pass
+                else:
+                    try:
+                        yield from cl.access(f"{cfg.src_root}/{probe}", 0x1)
+                    except NfsClientError:
+                        pass
+            # read the translation unit + its headers
+            yield from cl.read_file(f"{cfg.src_root}/{path}")
+            for k in range(cfg.headers_per_unit):
+                h = headers[(unit_index * 3 + k) % len(headers)]
+                yield from cl.read_file(f"{cfg.src_root}/{h}")
+            yield from cpu.consume(cfg.compile_cpu_per_unit, "app")
+            obj = f"{cfg.build_root}/{path.replace('/', '_')}.o"
+            yield from cl.write_file(obj, self._content(int(size * cfg.object_size_factor)))
+            objects.append(obj)
+            unit_index += 1
+        # link: read all objects, write binaries
+        total_obj_bytes = 0
+        for obj in objects:
+            data = yield from cl.read_file(obj)
+            total_obj_bytes += len(data)
+        yield from cpu.consume(cfg.binaries * 0.4, "app")
+        for i in range(cfg.binaries):
+            yield from cl.write_file(
+                f"{cfg.build_root}/bin{i}", self._content(total_obj_bytes // cfg.binaries // 4)
+            )
+        self.results["compile"] = sim.now - t3
+        self.results["total"] = sim.now - t_start
+        return self.results["total"]

@@ -1,0 +1,153 @@
+"""Seismic (SPEC HPC96) — §6.3.2: mixed I/O and computation.
+
+Four phases, each consuming its predecessor's on-disk output:
+
+1. **data generation** — compute + write one large initial data file,
+2. **data stacking** — strided passes over phase 1's file: seismic
+   stacking gathers traces across the dataset, so the access order is a
+   permutation of the file's blocks.  That defeats sequential
+   read-ahead *and* LRU reuse (the file exceeds client memory), which
+   is why the paper's phase 2 collapses from 27 s in LAN to 1021 s at
+   40 ms RTT on native NFS — and why SGFS's disk cache erases it (the
+   blocks were cached when phase 1 wrote them),
+3. **time migration** — read phase 2's output + compute + output,
+4. **depth migration** — compute-dominated + final output.
+
+At the end the intermediate outputs (phases 1–2) are removed and only
+the last two results are preserved — which, under SGFS write-back, is
+exactly why the temporaries never cross the WAN.
+
+The compute portions charge the client host's CPU under the "app"
+account.  Sizes are scaled testbed parameters; the defining ratios
+(phase-1 file ≫ client cache; phase-2 strides over it repeatedly) hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.setups import Mount
+from repro.crypto.drbg import Drbg
+
+
+@dataclass
+class SeismicConfig:
+    #: phase-1 output: must exceed the client page cache
+    initial_file: int = 16 * 1024 * 1024
+    #: strided passes phase 2 makes over the phase-1 file
+    stack_passes: int = 4
+    stacked_file: int = 4 * 1024 * 1024
+    time_mig_file: int = 3 * 1024 * 1024
+    depth_mig_file: int = 3 * 1024 * 1024
+    #: compute seconds per phase (client CPU); scaled 1:8 with the I/O
+    #: scale so compute-vs-I/O balance matches the paper's phases
+    cpu_generate: float = 2.5
+    cpu_stack: float = 1.6
+    cpu_time_mig: float = 0.4
+    cpu_depth_mig: float = 21.0
+    block: int = 32768
+    root: str = "/seismic"
+    seed: str = "seismic-strides"
+
+
+class Seismic:
+    """One Seismic run with per-phase timing."""
+
+    def __init__(self, config: SeismicConfig | None = None):
+        self.config = config or SeismicConfig()
+        self.results: Dict[str, float] = {}
+
+    def _chunk(self, size: int) -> bytes:
+        return (b"\x13\x37seismic-trace" * (size // 15 + 1))[:size]
+
+    def _write_streaming(self, mount: Mount, path: str, size: int,
+                         cpu_seconds: float):
+        """Interleave compute and output like the real code: produce a
+        block, write a block."""
+        cl = mount.client
+        cpu = mount.tb.client.cpu
+        cfg = self.config
+        f = yield from cl.open(path, create=True, truncate=True)
+        blocks = max(1, size // cfg.block)
+        per_block_cpu = cpu_seconds / blocks
+        payload = self._chunk(cfg.block)
+        pos = 0
+        for _ in range(blocks):
+            yield from cpu.consume(per_block_cpu, "app")
+            yield from cl.write(f, pos, payload)
+            pos += len(payload)
+        yield from cl.close(f)
+
+    def _read_sequential(self, mount: Mount, path: str):
+        cl = mount.client
+        cfg = self.config
+        f = yield from cl.open(path)
+        pos = 0
+        while pos < f.size:
+            data = yield from cl.read(f, pos, cfg.block)
+            if not data:
+                break
+            pos += len(data)
+        yield from cl.close(f)
+        return pos
+
+    def _read_strided(self, mount: Mount, path: str, rng: Drbg):
+        """One stacking pass: visit every block in permuted order."""
+        cl = mount.client
+        cfg = self.config
+        f = yield from cl.open(path)
+        nblocks = max(1, f.size // cfg.block)
+        order: List[int] = list(range(nblocks))
+        rng.shuffle(order)
+        for b in order:
+            yield from cl.read(f, b * cfg.block, cfg.block)
+        yield from cl.close(f)
+
+    def run(self, mount: Mount):
+        """Process generator; fills self.results per phase."""
+        sim = mount.tb.sim
+        cl = mount.client
+        cfg = self.config
+        cpu = mount.tb.client.cpu
+        rng = Drbg(cfg.seed)
+        t_start = sim.now
+        yield from cl.mkdir(cfg.root)
+
+        # ---- phase 1: data generation ----------------------------------------
+        t0 = sim.now
+        f1 = f"{cfg.root}/initial.data"
+        yield from self._write_streaming(mount, f1, cfg.initial_file, cfg.cpu_generate)
+        self.results["phase1"] = sim.now - t0
+
+        # ---- phase 2: data stacking (strided gathers) ---------------------------
+        t1 = sim.now
+        for p in range(cfg.stack_passes):
+            yield from self._read_strided(mount, f1, rng.fork(f"pass{p}"))
+            yield from cpu.consume(cfg.cpu_stack / cfg.stack_passes, "app")
+        f2 = f"{cfg.root}/stacked.data"
+        yield from self._write_streaming(mount, f2, cfg.stacked_file, 0.3)
+        self.results["phase2"] = sim.now - t1
+
+        # ---- phase 3: time migration ----------------------------------------------
+        t2 = sim.now
+        yield from self._read_sequential(mount, f2)
+        yield from cpu.consume(cfg.cpu_time_mig, "app")
+        f3 = f"{cfg.root}/time-mig.data"
+        yield from self._write_streaming(mount, f3, cfg.time_mig_file, 0.2)
+        self.results["phase3"] = sim.now - t2
+
+        # ---- phase 4: depth migration -------------------------------------------------
+        t3 = sim.now
+        yield from self._read_sequential(mount, f3)
+        f4 = f"{cfg.root}/depth-mig.data"
+        yield from self._write_streaming(
+            mount, f4, cfg.depth_mig_file, cfg.cpu_depth_mig
+        )
+        self.results["phase4"] = sim.now - t3
+
+        # ---- cleanup: drop intermediates, keep the last two results ----------------
+        yield from cl.unlink(f1)
+        yield from cl.unlink(f2)
+        self.results["total"] = sim.now - t_start
+        return self.results["total"]

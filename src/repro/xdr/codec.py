@@ -1,0 +1,219 @@
+"""XDR packer/unpacker per RFC 4506.
+
+All quantities are big-endian and padded to 4-byte boundaries.  The
+implementation is strict on decode: short buffers, nonzero padding, and
+out-of-range discriminants raise :class:`XdrError` rather than being
+silently tolerated — the server-side proxy depends on malformed input
+being rejected cleanly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class XdrError(Exception):
+    """Malformed XDR data or out-of-range value."""
+
+
+_U32 = struct.Struct(">I")
+_I32 = struct.Struct(">i")
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+_F32 = struct.Struct(">f")
+_F64 = struct.Struct(">d")
+
+
+def _pad(n: int) -> int:
+    return (4 - (n & 3)) & 3
+
+
+class Packer:
+    """Accumulates XDR-encoded bytes."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def get_bytes(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+    # -- integers --------------------------------------------------------
+
+    def pack_uint(self, v: int) -> None:
+        if not 0 <= v <= 0xFFFFFFFF:
+            raise XdrError(f"uint32 out of range: {v}")
+        self._parts.append(_U32.pack(v))
+
+    def pack_int(self, v: int) -> None:
+        if not -0x80000000 <= v <= 0x7FFFFFFF:
+            raise XdrError(f"int32 out of range: {v}")
+        self._parts.append(_I32.pack(v))
+
+    def pack_uhyper(self, v: int) -> None:
+        if not 0 <= v <= 0xFFFFFFFFFFFFFFFF:
+            raise XdrError(f"uint64 out of range: {v}")
+        self._parts.append(_U64.pack(v))
+
+    def pack_hyper(self, v: int) -> None:
+        if not -(2**63) <= v <= 2**63 - 1:
+            raise XdrError(f"int64 out of range: {v}")
+        self._parts.append(_I64.pack(v))
+
+    def pack_bool(self, v: bool) -> None:
+        self.pack_uint(1 if v else 0)
+
+    def pack_enum(self, v: int) -> None:
+        self.pack_int(v)
+
+    def pack_float(self, v: float) -> None:
+        self._parts.append(_F32.pack(v))
+
+    def pack_double(self, v: float) -> None:
+        self._parts.append(_F64.pack(v))
+
+    # -- opaques and strings ----------------------------------------------
+
+    def pack_fopaque(self, n: int, data: bytes) -> None:
+        """Fixed-length opaque: exactly n bytes plus padding."""
+        if len(data) != n:
+            raise XdrError(f"fixed opaque wants {n} bytes, got {len(data)}")
+        self._parts.append(bytes(data) + b"\x00" * _pad(n))
+
+    def pack_opaque(self, data: bytes) -> None:
+        """Variable-length opaque: length word, bytes, padding."""
+        self.pack_uint(len(data))
+        self._parts.append(bytes(data) + b"\x00" * _pad(len(data)))
+
+    def pack_string(self, s: str) -> None:
+        self.pack_opaque(s.encode("utf-8"))
+
+    # -- composites --------------------------------------------------------
+
+    def pack_array(self, items: Sequence[T], pack_item: Callable[[T], None]) -> None:
+        """Variable-length array: counted, then each element."""
+        self.pack_uint(len(items))
+        for item in items:
+            pack_item(item)
+
+    def pack_optional(self, value: Optional[T], pack_item: Callable[[T], None]) -> None:
+        """XDR optional (``*`` pointer syntax): bool then value-if-present."""
+        if value is None:
+            self.pack_bool(False)
+        else:
+            self.pack_bool(True)
+            pack_item(value)
+
+    def pack_list(self, items: Sequence[T], pack_item: Callable[[T], None]) -> None:
+        """XDR linked list: (TRUE item)* FALSE — used by READDIR replies."""
+        for item in items:
+            self.pack_bool(True)
+            pack_item(item)
+        self.pack_bool(False)
+
+
+class Unpacker:
+    """Consumes XDR-encoded bytes."""
+
+    def __init__(self, data: bytes):
+        self._data = memoryview(bytes(data))
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def done(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def assert_done(self) -> None:
+        if not self.done():
+            raise XdrError(f"{self.remaining()} trailing bytes after decode")
+
+    def _take(self, n: int) -> memoryview:
+        if self._pos + n > len(self._data):
+            raise XdrError(
+                f"buffer underrun: need {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    # -- integers --------------------------------------------------------
+
+    def unpack_uint(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def unpack_int(self) -> int:
+        return _I32.unpack(self._take(4))[0]
+
+    def unpack_uhyper(self) -> int:
+        return _U64.unpack(self._take(8))[0]
+
+    def unpack_hyper(self) -> int:
+        return _I64.unpack(self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        v = self.unpack_uint()
+        if v not in (0, 1):
+            raise XdrError(f"bool must be 0 or 1, got {v}")
+        return bool(v)
+
+    def unpack_enum(self) -> int:
+        return self.unpack_int()
+
+    def unpack_float(self) -> float:
+        return _F32.unpack(self._take(4))[0]
+
+    def unpack_double(self) -> float:
+        return _F64.unpack(self._take(8))[0]
+
+    # -- opaques and strings -----------------------------------------------
+
+    def unpack_fopaque(self, n: int) -> bytes:
+        data = bytes(self._take(n))
+        pad = bytes(self._take(_pad(n)))
+        if pad.strip(b"\x00"):
+            raise XdrError("nonzero padding bytes")
+        return data
+
+    def unpack_opaque(self, max_len: Optional[int] = None) -> bytes:
+        n = self.unpack_uint()
+        if max_len is not None and n > max_len:
+            raise XdrError(f"opaque length {n} exceeds limit {max_len}")
+        return self.unpack_fopaque(n)
+
+    def unpack_string(self, max_len: Optional[int] = None) -> str:
+        raw = self.unpack_opaque(max_len)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise XdrError(f"invalid UTF-8 in string: {exc}") from None
+
+    # -- composites --------------------------------------------------------
+
+    def unpack_array(self, unpack_item: Callable[[], T], max_len: Optional[int] = None) -> List[T]:
+        n = self.unpack_uint()
+        if max_len is not None and n > max_len:
+            raise XdrError(f"array length {n} exceeds limit {max_len}")
+        return [unpack_item() for _ in range(n)]
+
+    def unpack_optional(self, unpack_item: Callable[[], T]) -> Optional[T]:
+        return unpack_item() if self.unpack_bool() else None
+
+    def unpack_list(self, unpack_item: Callable[[], T], max_len: int = 1_000_000) -> List[T]:
+        out: List[T] = []
+        while self.unpack_bool():
+            out.append(unpack_item())
+            if len(out) > max_len:
+                raise XdrError("XDR list exceeds sanity limit")
+        return out

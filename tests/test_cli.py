@@ -1,0 +1,86 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list_command():
+    code, text = run_cli("list")
+    assert code == 0
+    for expected in ("sgfs-aes", "rc4-128-sha1", "postmark", "fig8"):
+        assert expected in text
+
+
+def test_info_command():
+    code, text = run_cli("info")
+    assert code == 0
+    assert "cpu_hz" in text and "proxy_cost" in text
+
+
+def test_run_iozone_lan():
+    code, text = run_cli(
+        "run", "--workload", "iozone", "--setup", "nfs-v3"
+    )
+    assert code == 0
+    assert "iozone on nfs-v3 (LAN)" in text
+    assert "read" in text and "total" in text
+
+
+def test_run_with_disk_cache_and_cpu():
+    code, text = run_cli(
+        "run", "--workload", "iozone", "--setup", "sgfs-aes",
+        "--rtt-ms", "10", "--disk-cache", "--cpu",
+    )
+    assert code == 0
+    assert "(10ms RTT)" in text
+    assert "cpu[client:proxy]" in text
+
+
+def test_run_rejects_disk_cache_on_native_nfs():
+    code, text = run_cli(
+        "run", "--workload", "iozone", "--setup", "nfs-v3", "--disk-cache"
+    )
+    assert code == 2
+    assert "proxied setups" in text
+
+
+def test_run_rejects_unknown_setup():
+    with pytest.raises(SystemExit):
+        run_cli("run", "--workload", "iozone", "--setup", "zfs")
+
+
+def test_sweep_command():
+    code, text = run_cli(
+        "sweep", "--workload", "iozone", "--baseline", "nfs-v3",
+        "--setup", "sgfs", "--rtts-ms", "1,5",
+    )
+    assert code == 0
+    assert "1.0ms" in text and "5.0ms" in text and "x" in text
+
+
+def test_sweep_bad_rtt_list():
+    code, text = run_cli("sweep", "--rtts-ms", "five,ten")
+    assert code == 2
+    assert "bad RTT" in text
+
+
+def test_figure_fig4_smoke():
+    code, text = run_cli("figure", "fig4")
+    assert code == 0
+    assert "Figure 4" in text
+    for setup in ("nfs-v3", "gfs-ssh"):
+        assert setup in text
+
+
+def test_requires_a_command():
+    with pytest.raises(SystemExit):
+        run_cli()

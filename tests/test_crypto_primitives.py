@@ -1,0 +1,181 @@
+"""Crypto primitives against published vectors plus property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import AES, RC4, PaddingError, hmac_sha1, hmac_sha256, pkcs7_pad, pkcs7_unpad
+from repro.crypto.hmac import constant_time_equal, hmac_digest
+
+
+# -- AES (FIPS-197 appendix C vectors) ------------------------------------------
+
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+def test_aes128_fips_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    ct = AES(key).encrypt_block(FIPS_PT)
+    assert ct == bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    assert AES(key).decrypt_block(ct) == FIPS_PT
+
+
+def test_aes192_fips_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+    ct = AES(key).encrypt_block(FIPS_PT)
+    assert ct == bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+
+
+def test_aes256_fips_vector():
+    key = bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+    )
+    ct = AES(key).encrypt_block(FIPS_PT)
+    assert ct == bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+    assert AES(key).decrypt_block(ct) == FIPS_PT
+
+
+def test_aes_nist_sp800_38a_cbc_vector():
+    # CBC-AES128.Encrypt from SP 800-38A F.2.1 (first two blocks)
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    pt = bytes.fromhex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51"
+    )
+    ct = AES(key).cbc_encrypt(iv, pt)
+    assert ct == bytes.fromhex(
+        "7649abac8119b246cee98e9b12e9197d"
+        "5086cb9b507219ee95db113a917678b2"
+    )
+    assert AES(key).cbc_decrypt(iv, ct) == pt
+
+
+def test_aes_bad_key_and_block_sizes():
+    with pytest.raises(ValueError):
+        AES(b"short")
+    aes = AES(b"k" * 16)
+    with pytest.raises(ValueError):
+        aes.encrypt_block(b"x" * 15)
+    with pytest.raises(ValueError):
+        aes.cbc_encrypt(b"i" * 15, b"x" * 16)
+    with pytest.raises(ValueError):
+        aes.cbc_encrypt(b"i" * 16, b"x" * 17)
+
+
+@settings(max_examples=20)
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=32, max_size=32))
+def test_aes_block_roundtrip_property(block, key):
+    aes = AES(key)
+    assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+# -- RC4 --------------------------------------------------------------------------
+
+
+def test_rc4_classic_vectors():
+    assert RC4(b"Key").process(b"Plaintext").hex().upper() == "BBF316E8D940AF0AD3"
+    assert (
+        RC4(b"Secret").process(b"Attack at dawn").hex().upper()
+        == "45A01F645FC35B383552544B9BF5"
+    )
+
+
+def test_rc4_is_symmetric_and_stateful():
+    enc = RC4(b"k")
+    dec = RC4(b"k")
+    c1 = enc.process(b"first")
+    c2 = enc.process(b"second")
+    assert dec.process(c1) == b"first"
+    assert dec.process(c2) == b"second"
+    # a fresh instance is NOT at the same keystream position
+    assert RC4(b"k").process(c2) != b"second"
+
+
+def test_rc4_skip_advances_keystream():
+    a = RC4(b"k")
+    b = RC4(b"k")
+    a.skip(768)
+    b.process(b"\x00" * 768)
+    assert a.process(b"data") == b.process(b"data")
+
+
+def test_rc4_key_length_limits():
+    with pytest.raises(ValueError):
+        RC4(b"")
+    with pytest.raises(ValueError):
+        RC4(b"x" * 257)
+
+
+# -- HMAC (RFC 2202 / RFC 4231 vectors) ---------------------------------------------
+
+
+def test_hmac_sha1_rfc2202_case1():
+    assert hmac_sha1(b"\x0b" * 20, b"Hi There").hex() == (
+        "b617318655057264e28bc0b6fb378c8ef146be00"
+    )
+
+
+def test_hmac_sha1_rfc2202_case2():
+    assert hmac_sha1(b"Jefe", b"what do ya want for nothing?").hex() == (
+        "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+    )
+
+
+def test_hmac_sha1_long_key_hashed_first():
+    # RFC 2202 case 6: 80-byte key
+    key = b"\xaa" * 80
+    msg = b"Test Using Larger Than Block-Size Key - Hash Key First"
+    assert hmac_sha1(key, msg).hex() == "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+
+
+def test_hmac_sha256_rfc4231_case1():
+    assert hmac_sha256(b"\x0b" * 20, b"Hi There").hex() == (
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    )
+
+
+@given(st.binary(max_size=100), st.binary(max_size=200))
+def test_hmac_matches_stdlib(key, msg):
+    import hashlib
+    import hmac as stdlib_hmac
+
+    assert hmac_digest(key, msg, "sha1") == stdlib_hmac.new(
+        key, msg, hashlib.sha1
+    ).digest()
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"same", b"same")
+    assert not constant_time_equal(b"same", b"samx")
+    assert not constant_time_equal(b"short", b"longer")
+
+
+# -- PKCS#7 -------------------------------------------------------------------------
+
+
+def test_pkcs7_full_block_when_aligned():
+    padded = pkcs7_pad(b"x" * 16, 16)
+    assert len(padded) == 32 and padded[-1] == 16
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        b"",  # empty
+        b"x" * 15,  # not block aligned
+        b"x" * 15 + b"\x00",  # zero pad byte
+        b"x" * 15 + b"\x11",  # pad > block
+        b"x" * 14 + b"\x01\x02",  # inconsistent pad bytes
+    ],
+)
+def test_pkcs7_unpad_rejects_bad_padding(bad):
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(bad, 16)
+
+
+@given(st.binary(max_size=100), st.integers(min_value=1, max_value=32))
+def test_pkcs7_roundtrip_property(data, block):
+    padded = pkcs7_pad(data, block)
+    assert len(padded) % block == 0
+    assert len(padded) > len(data)
+    assert pkcs7_unpad(padded, block) == data

@@ -1,0 +1,143 @@
+"""Failure injection: connections die mid-workload; hard mounts survive.
+
+The paper's deployment story (§5) assumes long-lived sessions on shared
+grid resources; a reproduction that only works on a perfect network
+would be toothless.  These tests abort live connections at awkward
+moments and require either full recovery (hard-mount reconnect) or a
+clean, surfaced failure (soft mount).
+"""
+
+import pytest
+
+from repro.core import Testbed, setup_nfs_v3
+from repro.nfs.client import NfsClientError
+from repro.rpc.errors import RpcError, RpcTransportError
+from repro.vfs.fs import Credentials
+
+ROOT = Credentials(0, 0)
+
+
+def test_hard_mount_survives_connection_abort():
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    cl = mount.client
+
+    def job():
+        yield from cl.write_file("/pre.bin", b"before the cut")
+        # sever the live connection abruptly
+        cl.rpc.transport.sock.abort()
+        yield tb.sim.timeout(0.01)
+        # operations keep working through the reconnect
+        yield from cl.write_file("/post.bin", b"after the cut")
+        data = yield from cl.read_file("/pre.bin")
+        return data
+
+    assert tb.run(job()) == b"before the cut"
+    assert cl.retransmissions >= 1
+    assert bytes(tb.fs.resolve("/post.bin", ROOT).data) == b"after the cut"
+
+
+def test_hard_mount_survives_repeated_aborts():
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    cl = mount.client
+
+    def job():
+        for i in range(4):
+            cl.rpc.transport.sock.abort()
+            yield from cl.write_file(f"/f{i}.bin", bytes([i]) * 100)
+        return True
+
+    assert tb.run(job())
+    for i in range(4):
+        assert bytes(tb.fs.resolve(f"/f{i}.bin", ROOT).data) == bytes([i]) * 100
+
+
+def test_soft_mount_surfaces_transport_error():
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    cl = mount.client
+    cl.reconnect = None  # soft mount
+
+    def job():
+        yield from cl.write_file("/ok.bin", b"fine")
+        cl.rpc.transport.sock.abort()
+        yield tb.sim.timeout(0.01)
+        cl.attrs.clear()  # force the stat onto the (dead) wire
+        with pytest.raises(RpcTransportError):
+            yield from cl.stat("/ok.bin")
+        return True
+
+    assert tb.run(job())
+
+
+def test_retransmission_gives_up_after_max_attempts():
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    cl = mount.client
+    cl.retrans_max = 2
+
+    def never_reconnect():
+        raise RpcTransportError("network is gone")
+        yield  # pragma: no cover
+
+    # a reconnect that itself keeps failing
+    attempts = []
+
+    def failing_reconnect():
+        attempts.append(1)
+        raise RpcTransportError("still down")
+        yield  # pragma: no cover
+
+    cl.reconnect = failing_reconnect
+
+    def job():
+        cl.rpc.transport.sock.abort()
+        yield tb.sim.timeout(0.01)
+        with pytest.raises(RpcTransportError):
+            yield from cl.stat("/whatever")
+        return True
+
+    assert tb.run(job())
+    assert len(attempts) >= 1
+
+
+def test_retransmission_backs_off():
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    cl = mount.client
+    cl.retrans_backoff = 2.0
+
+    def job():
+        yield from cl.write_file("/x.bin", b"x")
+        t0 = tb.sim.now
+        cl.rpc.transport.sock.abort()
+        yield  # let the abort propagate
+        cl.attrs.clear()
+        yield from cl.stat("/x.bin")
+        return tb.sim.now - t0
+
+    elapsed = tb.run(job())
+    assert elapsed >= 2.0  # first retry waited backoff * 1
+
+
+def test_server_restart_equivalent_listener_rebind():
+    """Close the server's listener (crash), rebind it (restart): a hard
+    mount rides through the outage."""
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    cl = mount.client
+
+    def job():
+        yield from cl.write_file("/durable.bin", b"written before crash")
+        # "crash": the nfsd stops accepting and the connection resets
+        listener = tb.server._ports.get(2049)
+        listener.close()
+        cl.rpc.transport.sock.abort()
+        yield tb.sim.timeout(0.5)
+        # "restart": rebind and serve again (state is in the VFS)
+        tb.nfs_rpc_server.serve_listener(tb.server.listen(2049))
+        data = yield from cl.read_file("/durable.bin")
+        return data
+
+    assert tb.run(job()) == b"written before crash"

@@ -1,0 +1,405 @@
+"""NFS server + caching client end to end over the simulated network."""
+
+import pytest
+
+from repro.net import Host, Network
+from repro.nfs import NfsClient, NfsClientError, NfsServerProgram, NFS_PROGRAM, NFS_V3
+from repro.nfs.protocol import Proc, Sattr3
+from repro.rpc import RpcClient, RpcServer, StreamTransport
+from repro.rpc.auth import AuthSys
+from repro.sim import Simulator
+from repro.vfs import DiskModel, Status, VirtualFS
+
+
+def build(cache_bytes=1 << 20, read_ahead=2, write_behind=True, uid=1000):
+    sim = Simulator()
+    net = Network(sim)
+    c = Host(sim, net, "c")
+    s = Host(sim, net, "s")
+    net.connect("c", "s", latency=0.0005)
+    fs = VirtualFS(clock=lambda: sim.now, root_uid=1000, root_gid=1000)
+    prog = NfsServerProgram(sim, fs, DiskModel(sim))
+    server = RpcServer(sim, cpu=s.cpu)
+    server.register(prog)
+    server.serve_listener(s.listen(2049))
+
+    def connect():
+        sock = yield from c.connect("s", 2049)
+        rpc = RpcClient(sim, StreamTransport(sock), NFS_PROGRAM, NFS_V3, cpu=c.cpu)
+        return NfsClient(
+            sim, rpc, prog.root_handle(), AuthSys(uid=uid, gid=uid),
+            block_size=4096, cache_bytes=cache_bytes,
+            read_ahead_blocks=read_ahead, write_behind=write_behind,
+        )
+
+    client = sim.run_until_complete(sim.spawn(connect()))
+    return sim, fs, prog, client
+
+
+def run(sim, gen):
+    return sim.run_until_complete(sim.spawn(gen))
+
+
+def test_full_file_lifecycle():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.mkdir("/dir")
+        yield from cl.write_file("/dir/f.bin", b"payload" * 100)
+        data = yield from cl.read_file("/dir/f.bin")
+        assert data == b"payload" * 100
+        attr = yield from cl.stat("/dir/f.bin")
+        assert attr.size == 700
+        yield from cl.rename("/dir/f.bin", "/dir/g.bin")
+        yield from cl.unlink("/dir/g.bin")
+        yield from cl.rmdir("/dir")
+        assert not (yield from cl.exists("/dir"))
+        yield from cl.drain()
+
+    run(sim, main())
+
+
+def test_multi_block_write_and_read():
+    sim, fs, prog, cl = build()
+    payload = bytes(range(256)) * 64  # 16 KB = 4 blocks at 4 KB
+
+    def main():
+        yield from cl.write_file("/big", payload)
+        yield from cl.drain()
+        data = yield from cl.read_file("/big")
+        assert data == payload
+        # the data really reached the server's VFS
+        node = fs.resolve("/big")
+        assert bytes(node.data) == payload
+
+    run(sim, main())
+
+
+def test_partial_overwrite_read_modify_write():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"A" * 10000)
+        f = yield from cl.open("/f")
+        yield from cl.write(f, 5000, b"B" * 100)
+        yield from cl.close(f)
+        data = yield from cl.read_file("/f")
+        assert data == b"A" * 5000 + b"B" * 100 + b"A" * 4900
+
+    run(sim, main())
+
+
+def test_enoent_and_eexist_errors():
+    sim, fs, prog, cl = build()
+
+    def main():
+        with pytest.raises(NfsClientError) as e:
+            yield from cl.read_file("/missing")
+        assert e.value.status == Status.NOENT
+        yield from cl.mkdir("/d")
+        with pytest.raises(NfsClientError) as e:
+            yield from cl.mkdir("/d")
+        assert e.value.status == Status.EXIST
+        with pytest.raises(NfsClientError) as e:
+            yield from cl.create("/d/x/y")
+        assert e.value.status == Status.NOENT
+
+    run(sim, main())
+
+
+def test_permission_error_surfaces():
+    sim, fs, prog, cl = build(uid=4242)  # not the export owner
+
+    def main():
+        with pytest.raises(NfsClientError) as e:
+            yield from cl.mkdir("/notmine")
+        assert e.value.status == Status.ACCES
+
+    run(sim, main())
+
+
+def test_readdir_listing_and_caching():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.mkdir("/d")
+        for i in range(10):
+            yield from cl.write_file(f"/d/f{i:02d}", b"x")
+        entries = yield from cl.readdir("/d")
+        names = sorted(e.name for e in entries)
+        assert names == [f"f{i:02d}" for i in range(10)]
+        before = cl.rpc.calls_sent
+        yield from cl.readdir("/d")  # served from the listing cache
+        assert cl.rpc.calls_sent == before
+        # mutation invalidates it
+        yield from cl.unlink("/d/f00")
+        entries = yield from cl.readdir("/d")
+        assert len(entries) == 9
+
+    run(sim, main())
+
+
+def test_readdir_paginates_large_directory():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.mkdir("/big")
+        for i in range(300):
+            yield from cl.write_file(f"/big/file-{i:03d}", b"")
+        entries = yield from cl.readdir("/big")
+        assert len(entries) == 300
+
+    run(sim, main())
+
+
+def test_attribute_cache_avoids_getattr_storm():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"data")
+        yield from cl.stat("/f")
+        getattrs_before = prog.ops[Proc.GETATTR] + prog.ops[Proc.LOOKUP]
+        for _ in range(25):
+            yield from cl.stat("/f")
+        return prog.ops[Proc.GETATTR] + prog.ops[Proc.LOOKUP] - getattrs_before
+
+    assert run(sim, main()) == 0
+
+
+def test_attribute_cache_expires():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"data")
+        yield from cl.stat("/f")
+        before = prog.ops[Proc.GETATTR]
+        yield sim.timeout(120.0)  # beyond acregmax
+        yield from cl.stat("/f")
+        return prog.ops[Proc.GETATTR] - before
+
+    assert run(sim, main()) >= 1
+
+
+def test_page_cache_hit_avoids_read_rpc():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"z" * 8192)
+        f = yield from cl.open("/f")
+        yield from cl.read(f, 0, 8192)
+        reads_before = prog.ops[Proc.READ]
+        yield from cl.read(f, 0, 8192)  # same blocks, cache-hot
+        yield from cl.close(f)
+        return prog.ops[Proc.READ] - reads_before
+
+    assert run(sim, main()) == 0
+
+
+def test_lru_eviction_under_small_cache():
+    sim, fs, prog, cl = build(cache_bytes=8192, read_ahead=0)  # 2 pages only
+
+    def main():
+        payload = bytes(range(256)) * 64  # 16 KB
+        yield from cl.write_file("/f", payload)
+        yield from cl.drain()
+        data = yield from cl.read_file("/f")
+        assert data == payload
+        return cl.pages.evictions
+
+    assert run(sim, main()) > 0
+
+
+def test_sequential_read_triggers_read_ahead():
+    sim, fs, prog, cl = build(read_ahead=3)
+
+    def main():
+        payload = b"r" * (4096 * 8)
+        yield from cl.write_file("/f", payload)
+        yield from cl.drain()
+        cl.pages.clear()
+        f = yield from cl.open("/f")
+        yield from cl.read(f, 0, 4096)
+        yield from cl.drain()  # let read-ahead land
+        # blocks 1..3 should be resident without explicit reads
+        return [cl.pages.peek(f.fileid, b) is not None for b in (1, 2, 3)]
+
+    assert run(sim, main()) == [True, True, True]
+
+
+def test_concurrent_same_block_fetch_coalesces():
+    sim, fs, prog, cl = build(read_ahead=0)
+
+    def main():
+        yield from cl.write_file("/f", b"x" * 4096)
+        yield from cl.drain()
+        cl.pages.clear()
+        f = yield from cl.open("/f")
+        reads_before = prog.ops[Proc.READ]
+        from repro.sim.process import all_of
+
+        procs = [sim.spawn(cl.read(f, 0, 4096)) for _ in range(5)]
+        results = yield all_of(sim, procs)
+        assert all(r == b"x" * 4096 for r in results)
+        return prog.ops[Proc.READ] - reads_before
+
+    assert run(sim, main()) == 1
+
+
+def test_write_behind_batches_then_commits():
+    sim, fs, prog, cl = build()
+
+    def main():
+        f = yield from cl.open("/f", create=True)
+        for i in range(8):
+            yield from cl.write(f, i * 4096, b"w" * 4096)
+        commits_before = prog.ops[Proc.COMMIT]
+        yield from cl.close(f)
+        assert prog.ops[Proc.COMMIT] - commits_before == 1
+        # durable after close
+        node = fs.resolve("/f")
+        assert node.size == 8 * 4096
+
+    run(sim, main())
+
+
+def test_write_through_mode():
+    sim, fs, prog, cl = build(write_behind=False)
+
+    def main():
+        f = yield from cl.open("/f", create=True)
+        yield from cl.write(f, 0, b"immediate" * 1000)
+        # data durable before close in write-through mode
+        node = fs.resolve("/f")
+        assert node.size == 9000
+        yield from cl.close(f)
+
+    run(sim, main())
+
+
+def test_close_to_open_revalidation_sees_external_change():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"version-one")
+        data = yield from cl.read_file("/f")
+        assert data == b"version-one"
+        # another client (out of band) rewrites the file
+        yield sim.timeout(1.0)
+        node = fs.resolve("/f")
+        from repro.vfs.fs import Credentials
+
+        fs.setattr(node.fileid, Credentials(1000, 1000), size=0)
+        fs.write(node.fileid, 0, b"version-TWO", Credentials(1000, 1000))
+        # reopening must revalidate and fetch fresh data
+        data = yield from cl.read_file("/f")
+        assert data == b"version-TWO"
+
+    run(sim, main())
+
+
+def test_truncate_via_open():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"long content here")
+        f = yield from cl.open("/f", truncate=True)
+        assert f.size == 0
+        yield from cl.close(f)
+        attr = yield from cl.stat("/f")
+        assert attr.size == 0
+
+    run(sim, main())
+
+
+def test_setattr_chmod():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"x")
+        yield from cl.setattr("/f", Sattr3(mode=0o600))
+        attr = yield from cl.stat("/f")
+        assert attr.mode == 0o600
+
+    run(sim, main())
+
+
+def test_symlink_via_client():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/target", b"t")
+        yield from cl.symlink("/ln", "target")
+        assert (yield from cl.readlink("/ln")) == "target"
+        with pytest.raises(NfsClientError):
+            yield from cl.readlink("/target")
+
+    run(sim, main())
+
+
+def test_hard_link_via_client():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/orig", b"shared-bytes")
+        yield from cl.link("/orig", "/alias")
+        data = yield from cl.read_file("/alias")
+        assert data == b"shared-bytes"
+        attr = yield from cl.stat("/alias")
+        assert attr.nlink == 2
+
+    run(sim, main())
+
+
+def test_access_results_cached():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"x")
+        yield from cl.access("/f", 0x1)
+        before = prog.ops[Proc.ACCESS]
+        yield from cl.access("/f", 0x2)
+        return prog.ops[Proc.ACCESS] - before
+
+    assert run(sim, main()) == 0
+
+
+def test_stale_handle_after_out_of_band_remove():
+    sim, fs, prog, cl = build()
+
+    def main():
+        yield from cl.write_file("/f", b"x")
+        f = yield from cl.open("/f")
+        node = fs.resolve("/f")
+        from repro.vfs.fs import Credentials
+
+        fs.remove(1, "f", Credentials(1000, 1000))
+        cl.pages.drop_file(f.fileid)
+        with pytest.raises(NfsClientError) as e:
+            yield from cl.read(f, 0, 4096)
+        assert e.value.status == Status.STALE
+
+    run(sim, main())
+
+
+def test_nfsv4_flavor_serves_same_semantics():
+    sim = Simulator()
+    net = Network(sim)
+    c = Host(sim, net, "c")
+    s = Host(sim, net, "s")
+    net.connect("c", "s", latency=0.0005)
+    fs = VirtualFS(clock=lambda: sim.now, root_uid=1000, root_gid=1000)
+    from repro.nfs.v4 import NFS_V4, NfsV4ServerProgram
+
+    prog = NfsV4ServerProgram(sim, fs, DiskModel(sim))
+    server = RpcServer(sim, cpu=s.cpu)
+    server.register(prog)
+    server.serve_listener(s.listen(2049))
+
+    def main():
+        sock = yield from c.connect("s", 2049)
+        rpc = RpcClient(sim, StreamTransport(sock), NFS_PROGRAM, NFS_V4, cpu=c.cpu)
+        cl = NfsClient(sim, rpc, prog.root_handle(), AuthSys(uid=1000, gid=1000))
+        yield from cl.write_file("/v4file", b"compound")
+        return (yield from cl.read_file("/v4file"))
+
+    assert sim.run_until_complete(sim.spawn(main())) == b"compound"

@@ -1,0 +1,192 @@
+"""Server-side proxy: authentication, authorization, identity mapping,
+ACL interception, ACL-file protection."""
+
+import pytest
+
+from repro.core.setups import (
+    FILE_ACCOUNT,
+    JOB_ACCOUNT,
+    USER_DN,
+    setup_gfs,
+    setup_sgfs,
+)
+from repro.core.topology import Testbed
+from repro.gsi import DistinguishedName
+from repro.gsi.gridmap import Gridmap, UnmappedPolicy
+from repro.nfs.client import NfsClientError
+from repro.proxy.acl import AclEntry
+from repro.vfs.fs import Credentials
+
+
+def test_identity_mapping_rewrites_uid():
+    """The job account's uid (5001) must arrive at the server as the
+    mapped file account's uid (901) — files are owned by the grid user's
+    local account."""
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+
+    def job():
+        yield from mount.client.write_file("/owned.txt", b"x")
+
+    tb.run(job())
+    node = tb.fs.resolve("/owned.txt", Credentials(0, 0))
+    assert node.uid == FILE_ACCOUNT.uid != JOB_ACCOUNT.uid
+
+
+def test_unmapped_user_denied():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+    # empty the gridmap mid-session: authorization is per-connection, so
+    # build a new session via reload + fresh mount would be heavy; patch
+    # the mapping on the live proxy instead and reconnect.
+    mount.server_proxy.gridmap = Gridmap(unmapped=UnmappedPolicy.DENY)
+
+    # new connections map against the new (empty) gridmap
+    from repro.core.setups import setup_nfs_v3  # noqa: F401  (for parity)
+
+    tb2 = Testbed.build()
+    m2 = setup_sgfs(tb2)
+    m2.server_proxy.gridmap = Gridmap(unmapped=UnmappedPolicy.DENY)
+    # force a brand-new session by building another client proxy is
+    # overkill here; instead assert the mapping function result directly:
+    assert m2.server_proxy._map_identity(USER_DN) is None
+
+
+def test_anonymous_policy_maps_to_nobody():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+    mount.server_proxy.gridmap = Gridmap(unmapped=UnmappedPolicy.ANONYMOUS)
+    account = mount.server_proxy._map_identity(
+        DistinguishedName.parse("/O=Else/CN=Stranger")
+    )
+    assert account is not None and account.name == "nobody"
+
+
+def test_access_answered_from_acl():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+
+    def job():
+        cl = mount.client
+        yield from cl.write_file("/guarded.txt", b"secret")
+        # install a deny ACL for the session user
+        mount.server_proxy.acls.set_acl(
+            tb.fs.root.fileid, "guarded.txt",
+            [AclEntry(str(USER_DN), 0, deny=True)],
+        )
+        cl.access_cache.clear()  # defeat client-side caching
+        bits = yield from cl.access("/guarded.txt", 0x3F)
+        return bits
+
+    assert tb.run(job()) == 0
+    assert mount.server_proxy.stats.acl_answers >= 1
+
+
+def test_access_unix_fallback_when_no_acl():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+
+    def job():
+        cl = mount.client
+        yield from cl.write_file("/plain.txt", b"x")
+        cl.access_cache.clear()
+        bits = yield from cl.access("/plain.txt", 0x1)
+        return bits
+
+    bits = tb.run(job())
+    assert bits == 0x1  # mapped UNIX permissions grant read
+    assert mount.server_proxy.stats.unix_fallbacks >= 1
+
+
+def test_acl_files_hidden_from_lookup():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+
+    def job():
+        cl = mount.client
+        yield from cl.write_file("/visible.txt", b"x")
+        mount.server_proxy.acls.set_acl(
+            tb.fs.root.fileid, "visible.txt", [AclEntry(str(USER_DN), 63)]
+        )
+        # lookup of the ACL file answers NOENT
+        with pytest.raises(NfsClientError, match="NOENT"):
+            yield from cl.stat("/.visible.txt.acl")
+        return True
+
+    assert tb.run(job())
+
+
+def test_acl_files_filtered_from_readdir():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+
+    def job():
+        cl = mount.client
+        yield from cl.mkdir("/d")
+        yield from cl.write_file("/d/a.txt", b"x")
+        d = tb.fs.resolve("/d", Credentials(0, 0))
+        mount.server_proxy.acls.set_acl(d.fileid, "a.txt", [AclEntry(str(USER_DN), 63)])
+        cl._dir_cache.clear()
+        cl.attrs.clear()
+        entries = yield from cl.readdir("/d")
+        return sorted(e.name for e in entries)
+
+    assert tb.run(job()) == ["a.txt"]
+    # the ACL file genuinely exists server-side
+    d = tb.fs.resolve("/d", Credentials(0, 0))
+    assert ".a.txt.acl" in d.entries
+
+
+def test_acl_file_mutation_refused():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+
+    def job():
+        cl = mount.client
+        with pytest.raises(NfsClientError, match="ACCES|NOENT"):
+            yield from cl.write_file("/.evil.txt.acl", b'"/O=X/CN=me" 63')
+        with pytest.raises(NfsClientError, match="ACCES|NOENT"):
+            yield from cl.unlink("/.something.acl")
+        yield from cl.write_file("/real.txt", b"x")
+        with pytest.raises(NfsClientError, match="ACCES"):
+            yield from cl.rename("/real.txt", "/.real.txt.acl")
+        return True
+
+    assert tb.run(job())
+
+
+def test_gfs_session_has_no_channel_security_but_maps_identity():
+    tb = Testbed.build()
+    mount = setup_gfs(tb)
+
+    def job():
+        yield from mount.client.write_file("/via-gfs.txt", b"y")
+
+    tb.run(job())
+    node = tb.fs.resolve("/via-gfs.txt", Credentials(0, 0))
+    assert node.uid == FILE_ACCOUNT.uid
+    assert mount.server_proxy.security is None
+
+
+def test_proxy_forward_counters():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+
+    def job():
+        yield from mount.client.write_file("/f", b"x" * 100)
+        yield from mount.client.read_file("/f")
+
+    tb.run(job())
+    assert mount.server_proxy.calls_forwarded > 0
+    assert mount.server_proxy.stats.granted > 0
+    assert mount.server_proxy.stats.denied == 0
+
+
+def test_dynamic_gridmap_reload_applies_to_new_sessions():
+    tb = Testbed.build()
+    mount = setup_sgfs(tb)
+    new_map = Gridmap()
+    new_map.add(DistinguishedName.parse("/O=New/CN=Someone"), "nobody")
+    mount.server_proxy.reload(gridmap=new_map)
+    assert mount.server_proxy.gridmap is new_map
+    assert mount.server_proxy._map_identity(USER_DN) is None

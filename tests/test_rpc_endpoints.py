@@ -1,0 +1,253 @@
+"""RPC client/server endpoints over the simulated network."""
+
+import pytest
+
+from repro.net import Host, Network
+from repro.rpc import RpcClient, RpcProgram, RpcServer, StreamTransport
+from repro.rpc.auth import AuthSys
+from repro.rpc.costs import EndpointCost
+from repro.rpc.errors import (
+    RpcError,
+    RpcGarbageArgs,
+    RpcProcUnavail,
+    RpcProgMismatch,
+    RpcProgUnavail,
+    RpcSystemError,
+)
+from repro.net.errors import ConnectionReset
+from repro.rpc.server import ProcUnavailable
+from repro.sim import Simulator
+from repro.xdr import Packer, Unpacker, XdrError
+
+PROG = 300_000
+
+
+class Echo(RpcProgram):
+    prog, vers = PROG, 1
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.seen_uids = []
+
+    def handle(self, proc, args, call, ctx):
+        if proc == 99:
+            raise ProcUnavailable()
+        if proc == 98:
+            raise XdrError("cannot decode")
+        if proc == 97:
+            raise RuntimeError("handler crash")
+        if call.cred.flavor == 1:
+            self.seen_uids.append(AuthSys.from_opaque(call.cred).uid)
+        yield self.sim.timeout(0.001)
+        u = Unpacker(args)
+        p = Packer()
+        p.pack_string(u.unpack_string()[::-1])
+        return p.get_bytes()
+
+
+def stack(max_inflight=64):
+    sim = Simulator()
+    net = Network(sim)
+    c = Host(sim, net, "c")
+    s = Host(sim, net, "s")
+    net.connect("c", "s", latency=0.001)
+    program = Echo(sim)
+    server = RpcServer(sim, cpu=s.cpu, max_inflight=max_inflight)
+    server.register(program)
+    server.serve_listener(s.listen(111))
+    return sim, c, s, program, server
+
+
+def connect_client(sim, c, vers=1):
+    def build():
+        sock = yield from c.connect("s", 111)
+        return RpcClient(sim, StreamTransport(sock), PROG, vers, cpu=c.cpu)
+
+    return sim.run_until_complete(sim.spawn(build()))
+
+
+def call_str(sim, client, proc, text):
+    def go():
+        p = Packer()
+        p.pack_string(text)
+        res = yield from client.call(proc, p.get_bytes())
+        return Unpacker(res).unpack_string()
+
+    return sim.run_until_complete(sim.spawn(go()))
+
+
+def test_basic_call():
+    sim, c, s, program, server = stack()
+    client = connect_client(sim, c)
+    assert call_str(sim, client, 0, "hello") == "olleh"
+    assert server.calls_served == 1
+
+
+def test_credentials_reach_handler():
+    sim, c, s, program, _server = stack()
+    client = connect_client(sim, c)
+
+    def go():
+        p = Packer()
+        p.pack_string("x")
+        yield from client.call(0, p.get_bytes(), AuthSys(uid=777, gid=7).to_opaque())
+
+    sim.run_until_complete(sim.spawn(go()))
+    assert program.seen_uids == [777]
+
+
+def test_concurrent_calls_pipeline():
+    sim, c, _s, _program, _server = stack()
+    client = connect_client(sim, c)
+
+    def one(i):
+        p = Packer()
+        p.pack_string(f"msg{i}")
+        res = yield from client.call(0, p.get_bytes())
+        return Unpacker(res).unpack_string()
+
+    from repro.sim.process import all_of
+
+    def main():
+        t0 = sim.now
+        procs = [sim.spawn(one(i)) for i in range(10)]
+        out = yield all_of(sim, procs)
+        return out, sim.now - t0
+
+    out, elapsed = sim.run_until_complete(sim.spawn(main()))
+    assert out == [f"msg{i}"[::-1] for i in range(10)]
+    # pipelined: much less than 10 sequential round trips (10 * ~3ms)
+    assert elapsed < 0.020
+
+
+def test_max_inflight_serializes():
+    sim, c, _s, _program, _server = stack(max_inflight=1)
+    client = connect_client(sim, c)
+    from repro.sim.process import all_of
+
+    def one(i):
+        p = Packer()
+        p.pack_string("x")
+        yield from client.call(0, p.get_bytes())
+
+    def main():
+        t0 = sim.now
+        yield all_of(sim, [sim.spawn(one(i)) for i in range(5)])
+        return sim.now - t0
+
+    elapsed = sim.run_until_complete(sim.spawn(main()))
+    assert elapsed >= 5 * 0.001  # handler time serialized
+
+
+def test_unknown_program():
+    sim, c, _s, _p, _server = stack()
+
+    def build():
+        sock = yield from c.connect("s", 111)
+        return RpcClient(sim, StreamTransport(sock), 999_999, 1)
+
+    client = sim.run_until_complete(sim.spawn(build()))
+
+    def go():
+        with pytest.raises(RpcProgUnavail):
+            yield from client.call(0, b"")
+        return True
+
+    assert sim.run_until_complete(sim.spawn(go()))
+
+
+def test_version_mismatch_reports_range():
+    sim, c, _s, _p, _server = stack()
+    client = connect_client(sim, c, vers=9)
+
+    def go():
+        with pytest.raises(RpcProgMismatch) as info:
+            yield from client.call(0, b"")
+        return info.value.low, info.value.high
+
+    assert sim.run_until_complete(sim.spawn(go())) == (1, 1)
+
+
+def test_proc_unavailable():
+    sim, c, _s, _p, _server = stack()
+    client = connect_client(sim, c)
+
+    def go():
+        with pytest.raises(RpcProcUnavail):
+            yield from client.call(99, b"")
+        return True
+
+    assert sim.run_until_complete(sim.spawn(go()))
+
+
+def test_garbage_args():
+    sim, c, _s, _p, _server = stack()
+    client = connect_client(sim, c)
+
+    def go():
+        with pytest.raises(RpcGarbageArgs):
+            yield from client.call(98, b"")
+        return True
+
+    assert sim.run_until_complete(sim.spawn(go()))
+
+
+def test_handler_crash_is_system_err():
+    sim, c, _s, _p, _server = stack()
+    client = connect_client(sim, c)
+
+    def go():
+        with pytest.raises(RpcSystemError):
+            yield from client.call(97, b"")
+        return True
+
+    assert sim.run_until_complete(sim.spawn(go()))
+
+
+def test_connection_close_fails_outstanding_calls():
+    sim, c, _s, _p, _server = stack()
+    client = connect_client(sim, c)
+
+    def go():
+        p = Packer()
+        p.pack_string("x")
+        ev_proc = sim.spawn(client.call(0, p.get_bytes()))
+        client.transport.sock.abort()
+        try:
+            yield ev_proc
+        except (RpcError, ConnectionReset):
+            return "failed as expected"
+
+    assert sim.run_until_complete(sim.spawn(go())) == "failed as expected"
+
+
+def test_duplicate_program_registration_rejected():
+    sim, _c, _s, program, server = stack()
+    with pytest.raises(RpcError):
+        server.register(program)
+
+
+def test_endpoint_cost_charges_cpu():
+    sim = Simulator()
+    net = Network(sim)
+    c = Host(sim, net, "c")
+    s = Host(sim, net, "s")
+    net.connect("c", "s", latency=0.001)
+    program = Echo(sim)
+    server = RpcServer(sim, cpu=s.cpu, cost=EndpointCost(per_msg=0.01), account="srv")
+    server.register(program)
+    server.serve_listener(s.listen(111))
+
+    def build():
+        sock = yield from c.connect("s", 111)
+        client = RpcClient(
+            sim, StreamTransport(sock), PROG, 1,
+            cpu=c.cpu, cost=EndpointCost(per_msg=0.005), account="cli",
+        )
+        p = Packer()
+        p.pack_string("x")
+        yield from client.call(0, p.get_bytes())
+
+    sim.run_until_complete(sim.spawn(build()))
+    assert c.cpu.busy_total("cli") == pytest.approx(0.010)  # send + recv
+    assert s.cpu.busy_total("srv") == pytest.approx(0.020)

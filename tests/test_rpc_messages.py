@@ -1,0 +1,141 @@
+"""RPC CALL/REPLY message codecs and error mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rpc import CallMessage, ReplyMessage, MSG_DENIED, SUCCESS
+from repro.rpc.auth import AUTH_SYS, AuthSys, OpaqueAuth, MAX_AUTH_BODY
+from repro.rpc.errors import (
+    RpcAuthError,
+    RpcError,
+    RpcGarbageArgs,
+    RpcProcUnavail,
+    RpcProgMismatch,
+    RpcProgUnavail,
+    RpcSystemError,
+)
+from repro.rpc.messages import (
+    AUTH_BADCRED,
+    GARBAGE_ARGS,
+    PROC_UNAVAIL,
+    PROG_MISMATCH,
+    PROG_UNAVAIL,
+    SYSTEM_ERR,
+    denied_reply,
+    error_reply,
+    success_reply,
+)
+from repro.xdr import XdrError
+
+
+def test_call_roundtrip():
+    cred = AuthSys(uid=42, gid=43, gids=[1, 2, 3]).to_opaque()
+    call = CallMessage(7, 100003, 3, 6, cred=cred, args=b"\x00\x01\x02\x03")
+    decoded = CallMessage.decode(call.encode())
+    assert decoded.xid == 7
+    assert (decoded.prog, decoded.vers, decoded.proc) == (100003, 3, 6)
+    assert decoded.args == b"\x00\x01\x02\x03"
+    auth = AuthSys.from_opaque(decoded.cred)
+    assert (auth.uid, auth.gid, auth.gids) == (42, 43, [1, 2, 3])
+
+
+def test_reply_is_not_a_call():
+    reply = success_reply(9, b"")
+    with pytest.raises(RpcError, match="expected CALL"):
+        CallMessage.decode(reply.encode())
+
+
+def test_call_is_not_a_reply():
+    call = CallMessage(1, 1, 1, 0)
+    with pytest.raises(RpcError, match="expected REPLY"):
+        ReplyMessage.decode(call.encode())
+
+
+def test_success_reply_roundtrip():
+    reply = success_reply(11, b"results here")
+    decoded = ReplyMessage.decode(reply.encode())
+    assert decoded.xid == 11
+    assert decoded.accept_stat == SUCCESS
+    assert decoded.results == b"results here"
+    decoded.raise_for_status()  # no exception
+
+
+@pytest.mark.parametrize(
+    "stat,exc",
+    [
+        (PROG_UNAVAIL, RpcProgUnavail),
+        (PROC_UNAVAIL, RpcProcUnavail),
+        (GARBAGE_ARGS, RpcGarbageArgs),
+        (SYSTEM_ERR, RpcSystemError),
+    ],
+)
+def test_error_replies_map_to_exceptions(stat, exc):
+    decoded = ReplyMessage.decode(error_reply(5, stat).encode())
+    with pytest.raises(exc):
+        decoded.raise_for_status()
+
+
+def test_prog_mismatch_carries_versions():
+    reply = error_reply(5, PROG_MISMATCH)
+    reply.mismatch_low, reply.mismatch_high = 2, 4
+    decoded = ReplyMessage.decode(reply.encode())
+    with pytest.raises(RpcProgMismatch) as info:
+        decoded.raise_for_status()
+    assert (info.value.low, info.value.high) == (2, 4)
+
+
+def test_denied_reply_roundtrip():
+    decoded = ReplyMessage.decode(denied_reply(3, AUTH_BADCRED).encode())
+    assert decoded.reply_stat == MSG_DENIED
+    with pytest.raises(RpcAuthError) as info:
+        decoded.raise_for_status()
+    assert info.value.stat == AUTH_BADCRED
+
+
+def test_with_cred_rewrites_only_credentials():
+    original = CallMessage(1, 2, 3, 4, cred=AuthSys(uid=10, gid=10).to_opaque(), args=b"zz")
+    remapped = original.with_cred(AuthSys(uid=901, gid=901).to_opaque())
+    assert remapped.xid == original.xid
+    assert remapped.args == original.args
+    assert AuthSys.from_opaque(remapped.cred).uid == 901
+    assert AuthSys.from_opaque(original.cred).uid == 10
+
+
+def test_auth_body_size_limit():
+    big = OpaqueAuth(AUTH_SYS, b"x" * (MAX_AUTH_BODY + 1))
+    call = CallMessage(1, 2, 3, 4, cred=big)
+    with pytest.raises(XdrError):
+        call.encode()
+
+
+def test_auth_sys_wrong_flavor_rejected():
+    with pytest.raises(XdrError):
+        AuthSys.from_opaque(OpaqueAuth(0, b""))
+
+
+def test_auth_sys_with_identity():
+    base = AuthSys(uid=5001, gid=5001, machinename="client", gids=[7])
+    mapped = base.with_identity(901, 901)
+    assert (mapped.uid, mapped.gid) == (901, 901)
+    assert mapped.machinename == "client"
+    assert mapped.gids == [7]
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.binary(max_size=200),
+)
+def test_property_call_roundtrip(xid, prog, proc, args):
+    call = CallMessage(xid, prog, 3, proc, args=args)
+    decoded = CallMessage.decode(call.encode())
+    assert (decoded.xid, decoded.prog, decoded.proc, decoded.args) == (
+        xid, prog, proc, args,
+    )
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.binary(max_size=200))
+def test_property_reply_roundtrip(xid, results):
+    decoded = ReplyMessage.decode(success_reply(xid, results).encode())
+    assert (decoded.xid, decoded.results) == (xid, results)

@@ -1,0 +1,109 @@
+"""RPC record marking: framing, fragmentation, incremental reassembly."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rpc.errors import RpcError
+from repro.rpc.record import (
+    LAST_FRAGMENT,
+    RecordReader,
+    RecordWriter,
+    frame_record,
+)
+
+
+def test_single_fragment_framing():
+    framed = frame_record(b"hello")
+    header = struct.unpack(">I", framed[:4])[0]
+    assert header == (LAST_FRAGMENT | 5)
+    assert framed[4:] == b"hello"
+
+
+def test_empty_record_framing():
+    framed = frame_record(b"")
+    assert framed == struct.pack(">I", LAST_FRAGMENT)
+    reader = RecordReader()
+    reader.feed(framed)
+    assert reader.next_record() == b""
+
+
+def test_multi_fragment_framing_and_reassembly():
+    record = bytes(range(256)) * 10  # 2560 bytes
+    framed = frame_record(record, fragment_size=1000)
+    # 3 fragments: 1000 + 1000 + 560
+    assert len(framed) == len(record) + 3 * 4
+    reader = RecordReader()
+    reader.feed(framed)
+    assert reader.next_record() == record
+    assert reader.next_record() is None
+
+
+def test_byte_at_a_time_reassembly():
+    records = [b"first", b"second record", b""]
+    stream = b"".join(frame_record(r, fragment_size=4) for r in records)
+    reader = RecordReader()
+    out = []
+    for i in range(len(stream)):
+        reader.feed(stream[i : i + 1])
+        while True:
+            rec = reader.next_record()
+            if rec is None:
+                break
+            out.append(rec)
+    assert out == records
+
+
+def test_interleaved_feed_and_pop():
+    reader = RecordReader()
+    reader.feed(frame_record(b"aaa") + frame_record(b"bbb"))
+    assert reader.pending == 2
+    assert reader.next_record() == b"aaa"
+    assert reader.next_record() == b"bbb"
+    assert reader.next_record() is None
+
+
+def test_oversized_record_rejected():
+    reader = RecordReader(max_record=100)
+    with pytest.raises(RpcError, match="exceeds"):
+        reader.feed(frame_record(b"x" * 200))
+
+
+def test_bad_fragment_size_rejected():
+    with pytest.raises(RpcError):
+        frame_record(b"x", fragment_size=0)
+
+
+def test_writer_writes_through_sink():
+    chunks = []
+
+    class Sink:
+        def send(self, data):
+            chunks.append(data)
+
+    RecordWriter(Sink()).write(b"payload")
+    reader = RecordReader()
+    for c in chunks:
+        reader.feed(c)
+    assert reader.next_record() == b"payload"
+
+
+@given(
+    st.lists(st.binary(max_size=400), min_size=1, max_size=10),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=97),
+)
+def test_property_stream_reassembly(records, fragment_size, chunk_size):
+    """Any records, any fragmentation, any stream chunking: reassembles."""
+    stream = b"".join(frame_record(r, fragment_size=fragment_size) for r in records)
+    reader = RecordReader()
+    out = []
+    for off in range(0, len(stream), chunk_size):
+        reader.feed(stream[off : off + chunk_size])
+        while True:
+            rec = reader.next_record()
+            if rec is None:
+                break
+            out.append(rec)
+    assert out == records

@@ -1,0 +1,286 @@
+"""Management services: XML, SOAP/WS-Security, FSS/DSS orchestration."""
+
+import pytest
+
+from repro.core.setups import CA_DN, FILE_ACCOUNT, JOB_ACCOUNT, SERVER_DN, USER_DN, _kernel_client
+from repro.core.topology import NFS_PORT, Testbed
+from repro.crypto.drbg import Drbg
+from repro.gsi import CertificateAuthority, DistinguishedName, issue_proxy_certificate
+from repro.rpc.auth import AuthSys
+from repro.services import (
+    DataSchedulerService,
+    FileSystemService,
+    SoapEnvelope,
+    SoapFault,
+    XmlElement,
+    XmlError,
+    sign_envelope,
+    verify_envelope,
+)
+from repro.services.dss import seal_credential_for
+from repro.services.endpoint import ServiceClient
+from repro.services.xmlmini import parse
+
+
+# -- XML -----------------------------------------------------------------------
+
+
+def test_xml_canonical_roundtrip():
+    root = XmlElement("Envelope")
+    root.element("Child", "text & <markup>", attr="va'l")
+    sub = root.element("Nested")
+    sub.element("Deep", "x")
+    data = root.canonical()
+    back = parse(data)
+    assert back.tag == "Envelope"
+    assert back.find("Child").text == "text & <markup>"
+    assert back.find("Child").attrs["attr"] == "va'l"
+    assert back.find("Nested").find("Deep").text == "x"
+    assert back.canonical() == data
+
+
+def test_xml_canonical_sorts_attributes():
+    a = XmlElement("t", attrs={"b": "2", "a": "1"})
+    b = XmlElement("t", attrs={"a": "1", "b": "2"})
+    assert a.canonical() == b.canonical()
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [b"<unclosed>", b"<a></b>", b"not xml", b"<a></a>trailing",
+     b"<a x=unquoted></a>"],
+)
+def test_xml_malformed_rejected(bad):
+    with pytest.raises(XmlError):
+        parse(bad)
+
+
+def test_xml_bad_tag_rejected():
+    with pytest.raises(XmlError):
+        XmlElement("has space")
+
+
+# -- SOAP / WS-Security -------------------------------------------------------------
+
+CA = CertificateAuthority(CA_DN, rng=Drbg("svc-ca"), key_bits=768)
+ALICE = CA.issue_identity(
+    DistinguishedName.parse("/C=US/O=Lab/CN=Alice"), rng=Drbg("svc-alice"), key_bits=768
+)
+ROGUE_CA = CertificateAuthority(
+    DistinguishedName.parse("/O=Rogue/CN=CA"), rng=Drbg("svc-rogue"), key_bits=768
+)
+MALLORY = ROGUE_CA.issue_identity(
+    DistinguishedName.parse("/O=Rogue/CN=Mallory"), key_bits=768
+)
+
+
+def signed(action="DoThing", body=None, cred=ALICE, now=10.0, nonce="n1"):
+    env = SoapEnvelope(action=action, body=body or {"k": "v"})
+    return sign_envelope(env, cred, now, nonce)
+
+
+def test_envelope_xml_roundtrip():
+    env = signed()
+    back = SoapEnvelope.from_xml(env.to_xml())
+    assert back.action == "DoThing"
+    assert back.body == {"k": "v"}
+    assert back.signature == env.signature
+    assert back.certificate == ALICE.certificate
+
+
+def test_verify_accepts_valid_and_returns_identity():
+    env = SoapEnvelope.from_xml(signed().to_xml())
+    identity = verify_envelope(env, [CA.certificate], now=11.0)
+    assert str(identity) == "/C=US/O=Lab/CN=Alice"
+
+
+def test_verify_rejects_tampered_body():
+    env = SoapEnvelope.from_xml(signed().to_xml())
+    env.body["k"] = "tampered"
+    with pytest.raises(SoapFault, match="signature"):
+        verify_envelope(env, [CA.certificate], now=11.0)
+
+
+def test_verify_rejects_untrusted_ca():
+    env = SoapEnvelope.from_xml(signed(cred=MALLORY).to_xml())
+    with pytest.raises(SoapFault, match="certificate"):
+        verify_envelope(env, [CA.certificate], now=11.0)
+
+
+def test_verify_rejects_unsigned():
+    env = SoapEnvelope(action="X", body={})
+    env.certificate = ALICE.certificate
+    with pytest.raises(SoapFault, match="unsigned"):
+        verify_envelope(env, [CA.certificate], now=11.0)
+
+
+def test_verify_rejects_stale_timestamp():
+    env = SoapEnvelope.from_xml(signed(now=10.0).to_xml())
+    with pytest.raises(SoapFault, match="freshness"):
+        verify_envelope(env, [CA.certificate], now=10_000.0)
+
+
+def test_verify_rejects_replayed_nonce():
+    env1 = SoapEnvelope.from_xml(signed(nonce="same").to_xml())
+    env2 = SoapEnvelope.from_xml(signed(nonce="same").to_xml())
+    seen = set()
+    verify_envelope(env1, [CA.certificate], now=11.0, seen_nonces=seen)
+    with pytest.raises(SoapFault, match="replay"):
+        verify_envelope(env2, [CA.certificate], now=11.0, seen_nonces=seen)
+
+
+def test_proxy_signed_message_resolves_to_user():
+    proxy = issue_proxy_certificate(ALICE, now=5.0, rng=Drbg("px"), key_bits=768)
+    env = SoapEnvelope.from_xml(signed(cred=proxy, now=6.0).to_xml())
+    identity = verify_envelope(env, [CA.certificate], now=7.0)
+    assert str(identity) == "/C=US/O=Lab/CN=Alice"
+
+
+# -- full DSS/FSS deployment ------------------------------------------------------------
+
+
+def deploy():
+    tb = Testbed.build()
+    sim = tb.sim
+    rng = Drbg("deploy")
+    ca = CertificateAuthority(CA_DN, rng=rng.fork("ca"), key_bits=768)
+    anchors = [ca.certificate]
+    ids = {
+        name: ca.issue_identity(
+            DistinguishedName.parse(f"/C=US/O=UFL/CN={name}"),
+            rng=rng.fork(name), key_bits=768,
+        )
+        for name in ("fss-server", "fss-client", "dss")
+    }
+    user = ca.issue_identity(USER_DN, rng=rng.fork("user"), key_bits=768)
+    host_id = ca.issue_identity(SERVER_DN, rng=rng.fork("host"), key_bits=768)
+    fss_server = FileSystemService(
+        sim, tb.server, 5000, ids["fss-server"], anchors,
+        fs=tb.fs, accounts=tb.server_accounts, nfs_port=NFS_PORT,
+        host_credential=host_id,
+    )
+    fss_server.start()
+    fss_client = FileSystemService(sim, tb.client, 5001, ids["fss-client"], anchors)
+    fss_client.start()
+    dss = DataSchedulerService(
+        sim, tb.server, 5002, ids["dss"], anchors,
+        client_fss={"client": ("client", 5001, ids["fss-client"].certificate)},
+    )
+    dss.start()
+    dss.register_filesystem(
+        "/GFS/ming", "server", 5000, acl={str(USER_DN): FILE_ACCOUNT.name}
+    )
+    return tb, rng, ca, anchors, user, ids, fss_client, fss_server, dss
+
+
+def test_full_session_lifecycle_through_services():
+    tb, rng, ca, anchors, user, ids, fss_client, fss_server, dss = deploy()
+    sim = tb.sim
+    proxy_cred = issue_proxy_certificate(user, now=sim.now, rng=rng.fork("px"), key_bits=768)
+    me = ServiceClient(sim, tb.client, proxy_cred, anchors, rng=rng.fork("me"))
+    blob = seal_credential_for(proxy_cred, ids["fss-client"].certificate, rng.fork("seal"))
+
+    def scenario():
+        reply = yield from me.call(
+            "server", 5002, "CreateSession",
+            {"filesystem": "/GFS/ming", "client_host": "client",
+             "suite": "rc4-128-sha1", "credential": blob},
+        )
+        cl = yield from _kernel_client(
+            tb, "client", int(reply["client_port"]),
+            AuthSys(uid=JOB_ACCOUNT.uid, gid=JOB_ACCOUNT.gid), None,
+        )
+        yield from cl.write_file("/svc.txt", b"through the service plane")
+        data = yield from cl.read_file("/svc.txt")
+        out = yield from me.call(
+            "server", 5002, "DestroySession", {"session_id": reply["session_id"]}
+        )
+        return data, out
+
+    data, out = tb.run(scenario())
+    assert data == b"through the service plane"
+    assert "destroyed" in out
+    assert not dss.sessions
+
+
+def test_unauthorized_user_cannot_create_session():
+    tb, rng, ca, anchors, user, ids, fss_client, fss_server, dss = deploy()
+    sim = tb.sim
+    outsider = ca.issue_identity(
+        DistinguishedName.parse("/C=US/O=Other/CN=Outsider"),
+        rng=rng.fork("out"), key_bits=768,
+    )
+    proxy_cred = issue_proxy_certificate(outsider, now=sim.now, rng=rng.fork("opx"), key_bits=768)
+    client = ServiceClient(sim, tb.client, proxy_cred, anchors, rng=rng.fork("oc"))
+    blob = seal_credential_for(proxy_cred, ids["fss-client"].certificate, rng.fork("os"))
+
+    def scenario():
+        with pytest.raises(SoapFault, match="not authorized"):
+            yield from client.call(
+                "server", 5002, "CreateSession",
+                {"filesystem": "/GFS/ming", "client_host": "client",
+                 "credential": blob},
+            )
+        return True
+
+    assert tb.run(scenario())
+
+
+def test_grant_access_updates_generated_gridmap():
+    tb, rng, ca, anchors, user, ids, fss_client, fss_server, dss = deploy()
+    sim = tb.sim
+    proxy_cred = issue_proxy_certificate(user, now=sim.now, rng=rng.fork("px"), key_bits=768)
+    me = ServiceClient(sim, tb.client, proxy_cred, anchors, rng=rng.fork("me"))
+    friend_dn = "/C=US/O=UFL/CN=Friend"
+
+    def scenario():
+        yield from me.call(
+            "server", 5002, "GrantAccess",
+            {"filesystem": "/GFS/ming", "dn": friend_dn, "account": "ming"},
+        )
+        return dss.gridmap_for("/GFS/ming").dump()
+
+    gridmap_text = tb.run(scenario())
+    assert friend_dn in gridmap_text
+
+
+def test_unknown_action_faults():
+    tb, rng, ca, anchors, user, ids, fss_client, fss_server, dss = deploy()
+    sim = tb.sim
+    me = ServiceClient(sim, tb.client, user, anchors, rng=rng.fork("me"))
+
+    def scenario():
+        with pytest.raises(SoapFault, match="unknown action"):
+            yield from me.call("server", 5002, "NoSuchAction", {})
+        return True
+
+    assert tb.run(scenario())
+
+
+def test_unknown_filesystem_faults():
+    tb, rng, ca, anchors, user, ids, fss_client, fss_server, dss = deploy()
+    me = ServiceClient(tb.sim, tb.client, user, anchors, rng=rng.fork("me"))
+
+    def scenario():
+        with pytest.raises(SoapFault, match="unknown filesystem"):
+            yield from me.call(
+                "server", 5002, "CreateSession",
+                {"filesystem": "/GFS/ghost", "client_host": "client",
+                 "credential": "xx"},
+            )
+        return True
+
+    assert tb.run(scenario())
+
+
+def test_service_cpu_charged_for_message_security():
+    tb, rng, ca, anchors, user, ids, fss_client, fss_server, dss = deploy()
+    me = ServiceClient(tb.sim, tb.client, user, anchors, rng=rng.fork("me"))
+
+    def scenario():
+        with pytest.raises(SoapFault):
+            yield from me.call("server", 5002, "NoSuchAction", {})
+
+    tb.run(scenario())
+    assert tb.client.cpu.busy_total("services") > 0
+    assert tb.server.cpu.busy_total("services") > 0

@@ -1,0 +1,123 @@
+"""CPU resource: serialization, speed scaling, ledger accounting."""
+
+import pytest
+
+from repro.sim import CPU, Simulator
+from repro.sim.core import SimError
+from repro.sim.cpu import CpuLedger
+
+
+def test_consume_takes_time():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def main():
+        yield from cpu.consume(2.0, "work")
+        return sim.now
+
+    assert sim.run_until_complete(sim.spawn(main())) == 2.0
+    assert cpu.busy_total("work") == 2.0
+
+
+def test_speed_scales_duration():
+    sim = Simulator()
+    cpu = CPU(sim, speed=2.0)
+
+    def main():
+        yield from cpu.consume(2.0, "work")
+        return sim.now
+
+    assert sim.run_until_complete(sim.spawn(main())) == 1.0
+
+
+def test_zero_speed_rejected():
+    with pytest.raises(SimError):
+        CPU(Simulator(), speed=0.0)
+
+
+def test_negative_consume_rejected():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def main():
+        yield from cpu.consume(-1.0)
+
+    p = sim.spawn(main())
+    sim.run()
+    assert p.completion.failed
+
+
+def test_single_core_serializes():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def worker():
+        yield from cpu.consume(1.0, "w")
+
+    for _ in range(3):
+        sim.spawn(worker())
+    sim.run()
+    assert sim.now == 3.0
+    assert cpu.busy_total("w") == 3.0
+
+
+def test_accounts_tracked_separately():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def main():
+        yield from cpu.consume(1.0, "alpha")
+        yield from cpu.consume(2.0, "beta")
+
+    sim.spawn(main())
+    sim.run()
+    assert cpu.busy_total("alpha") == 1.0
+    assert cpu.busy_total("beta") == 2.0
+    assert set(cpu.ledger.accounts()) == {"alpha", "beta"}
+
+
+def test_ledger_window_query():
+    ledger = CpuLedger()
+    ledger.record("a", 1.0, 3.0)
+    ledger.record("a", 5.0, 6.0)
+    assert ledger.busy_in_window("a", 0.0, 10.0) == 3.0
+    assert ledger.busy_in_window("a", 2.0, 5.5) == 1.5
+    assert ledger.busy_in_window("a", 3.0, 5.0) == 0.0
+    assert ledger.busy_in_window("a", 5.0, 5.0) == 0.0  # empty window
+    assert ledger.busy_in_window("missing", 0.0, 10.0) == 0.0
+
+
+def test_ledger_rejects_negative_interval():
+    with pytest.raises(SimError):
+        CpuLedger().record("a", 2.0, 1.0)
+
+
+def test_utilization_series_percentages():
+    ledger = CpuLedger()
+    ledger.record("p", 0.0, 2.5)  # busy 2.5s of the first 5s window
+    series = ledger.utilization_series("p", t_end=10.0, window=5.0)
+    assert series == [(5.0, 50.0), (10.0, 0.0)]
+
+
+def test_utilization_series_partial_last_window():
+    ledger = CpuLedger()
+    ledger.record("p", 5.0, 6.0)
+    series = ledger.utilization_series("p", t_end=7.0, window=5.0)
+    assert series[0] == (5.0, 0.0)
+    t, pct = series[1]
+    assert t == 7.0 and abs(pct - 50.0) < 1e-9
+
+
+def test_contention_interleaves_fifo():
+    sim = Simulator()
+    cpu = CPU(sim)
+    done = []
+
+    def worker(tag, work):
+        yield from cpu.consume(work, tag)
+        done.append((tag, sim.now))
+
+    sim.spawn(worker("a", 1.0))
+    sim.spawn(worker("b", 0.5))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 1.5)]

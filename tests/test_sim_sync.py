@@ -1,0 +1,238 @@
+"""Channels, stores, semaphores, gates."""
+
+import pytest
+
+from repro.sim import Channel, Gate, Semaphore, Simulator, Store
+from repro.sim.core import SimError
+from repro.sim.sync import ChannelClosed
+
+
+# -- Channel ----------------------------------------------------------------
+
+
+def test_channel_put_then_get():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.put("a")
+    ch.put("b")
+
+    def main():
+        x = yield ch.get()
+        y = yield ch.get()
+        return x, y
+
+    assert sim.run_until_complete(sim.spawn(main())) == ("a", "b")
+
+
+def test_channel_get_blocks_until_put():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def consumer():
+        value = yield ch.get()
+        return value, sim.now
+
+    p = sim.spawn(consumer())
+    sim.call_later(3.0, lambda: ch.put("late"))
+    assert sim.run_until_complete(p) == ("late", 3.0)
+
+
+def test_channel_fifo_across_waiters():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = []
+
+    def consumer(tag):
+        value = yield ch.get()
+        got.append((tag, value))
+
+    sim.spawn(consumer("first"))
+    sim.spawn(consumer("second"))
+    sim.call_later(1.0, lambda: (ch.put(1), ch.put(2)))
+    sim.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_channel_try_get():
+    sim = Simulator()
+    ch = Channel(sim)
+    assert ch.try_get() == (False, None)
+    ch.put("x")
+    assert ch.try_get() == (True, "x")
+
+
+def test_channel_close_fails_waiters_and_future_gets():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def waiter():
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            return "closed"
+
+    p = sim.spawn(waiter())
+    sim.call_later(1.0, ch.close)
+    assert sim.run_until_complete(p) == "closed"
+    with pytest.raises(ChannelClosed):
+        ch.put("after")
+
+
+# -- Store --------------------------------------------------------------------
+
+
+def test_store_put_blocks_at_capacity():
+    sim = Simulator()
+    st = Store(sim, capacity=2)
+    timeline = []
+
+    def producer():
+        for i in range(4):
+            yield st.put(i)
+            timeline.append((sim.now, f"put{i}"))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        for _ in range(4):
+            v = yield st.get()
+            timeline.append((sim.now, f"got{v}"))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    # puts 0 and 1 at t=0; 2 and 3 wait for the consumer at t=5
+    assert timeline[0] == (0.0, "put0") and timeline[1] == (0.0, "put1")
+    assert all(t == 5.0 for t, _tag in timeline[2:])
+
+
+def test_store_capacity_must_be_positive():
+    with pytest.raises(SimError):
+        Store(Simulator(), capacity=0)
+
+
+def test_store_handoff_to_waiting_getter():
+    sim = Simulator()
+    st = Store(sim, capacity=1)
+
+    def getter():
+        v = yield st.get()
+        return v
+
+    p = sim.spawn(getter())
+    sim.call_later(1.0, lambda: st.put("direct"))
+    assert sim.run_until_complete(p) == "direct"
+
+
+# -- Semaphore --------------------------------------------------------------------
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=2)
+    active = []
+    peak = []
+
+    def worker(i):
+        yield sem.acquire()
+        active.append(i)
+        peak.append(len(active))
+        yield sim.timeout(1.0)
+        active.remove(i)
+        sem.release()
+
+    for i in range(6):
+        sim.spawn(worker(i))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == 3.0  # 6 workers, 2 at a time, 1s each
+
+
+def test_semaphore_release_without_acquire_rejected():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    with pytest.raises(SimError):
+        sem.release()
+
+
+def test_semaphore_fifo_handoff():
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=1)
+    order = []
+
+    def worker(i):
+        yield sem.acquire()
+        order.append(i)
+        yield sim.timeout(0.1)
+        sem.release()
+
+    for i in range(4):
+        sim.spawn(worker(i))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_semaphore_counters():
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=1)
+
+    def holder():
+        yield sem.acquire()
+        assert sem.in_use == 1
+        yield sim.timeout(1.0)
+        sem.release()
+
+    def contender():
+        yield sim.timeout(0.5)
+        assert sem.queued == 0
+        yield sem.acquire()
+        sem.release()
+
+    sim.spawn(holder())
+    sim.spawn(contender())
+    sim.run()
+    assert sem.in_use == 0
+
+
+# -- Gate -----------------------------------------------------------------------------
+
+
+def test_gate_open_passes_immediately():
+    sim = Simulator()
+    gate = Gate(sim, open=True)
+
+    def main():
+        yield gate.wait()
+        return sim.now
+
+    assert sim.run_until_complete(sim.spawn(main())) == 0.0
+
+
+def test_gate_closed_blocks_until_open():
+    sim = Simulator()
+    gate = Gate(sim, open=False)
+
+    def main():
+        yield gate.wait()
+        return sim.now
+
+    p = sim.spawn(main())
+    sim.call_later(2.0, gate.open)
+    assert sim.run_until_complete(p) == 2.0
+    assert gate.is_open
+
+
+def test_gate_reclose():
+    sim = Simulator()
+    gate = Gate(sim, open=True)
+    gate.close()
+    assert not gate.is_open
+    waited = []
+
+    def main():
+        yield gate.wait()
+        waited.append(sim.now)
+
+    sim.spawn(main())
+    sim.call_later(1.0, gate.open)
+    sim.run()
+    assert waited == [1.0]

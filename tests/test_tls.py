@@ -1,0 +1,266 @@
+"""Secure channel: handshake, record protection, renegotiation, failures."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.gsi import CertificateAuthority, DistinguishedName
+from repro.net import Host, Network
+from repro.sim import Simulator
+from repro.tls import (
+    HandshakeError,
+    IntegrityError,
+    SecurityConfig,
+    client_handshake,
+    server_handshake,
+)
+
+CA = CertificateAuthority(
+    DistinguishedName.parse("/O=TestCA/CN=Root"), rng=Drbg("tls-ca"), key_bits=768
+)
+ROGUE_CA = CertificateAuthority(
+    DistinguishedName.parse("/O=Rogue/CN=Root"), rng=Drbg("tls-rogue"), key_bits=768
+)
+USER = CA.issue_identity(
+    DistinguishedName.parse("/O=Lab/CN=user"), rng=Drbg("tls-user"), key_bits=768
+)
+SERVER = CA.issue_identity(
+    DistinguishedName.parse("/O=Lab/CN=server"), rng=Drbg("tls-server"), key_bits=768
+)
+ROGUE = ROGUE_CA.issue_identity(
+    DistinguishedName.parse("/O=Rogue/CN=mallory"), rng=Drbg("tls-mal"), key_bits=768
+)
+
+
+def make_testbed():
+    sim = Simulator()
+    net = Network(sim)
+    c = Host(sim, net, "c")
+    s = Host(sim, net, "s")
+    net.connect("c", "s", latency=0.001)
+    return sim, c, s
+
+
+def configs(suite="aes-256-cbc-sha1", fast=False, client_cred=USER,
+            server_anchors=None, client_anchors=None, server_suite=None,
+            reneg=None):
+    ccfg = SecurityConfig.for_session(
+        client_cred, client_anchors or [CA.certificate], suite,
+        fast_ciphers=fast, rng=Drbg("c-rng"), renegotiate_interval=reneg,
+    )
+    scfg = SecurityConfig.for_session(
+        SERVER, server_anchors or [CA.certificate], server_suite or suite,
+        fast_ciphers=fast, rng=Drbg("s-rng"),
+    )
+    return ccfg, scfg
+
+
+def establish(sim, c, s, ccfg, scfg, port=4433):
+    result = {}
+
+    def server_side():
+        lst = s.listen(port)
+        sock = yield lst.accept()
+        result["server"] = yield from server_handshake(sim, sock, scfg, cpu=s.cpu)
+
+    def client_side():
+        sock = yield from c.connect("s", port)
+        result["client"] = yield from client_handshake(sim, sock, ccfg, cpu=c.cpu)
+
+    sim.spawn(server_side())
+    p = sim.spawn(client_side())
+    sim.run_until_complete(p)
+    sim.run(until=sim.now + 1.0)
+    return result["client"], result["server"]
+
+
+@pytest.mark.parametrize("suite", ["null-sha1", "rc4-128-sha1", "aes-256-cbc-sha1"])
+@pytest.mark.parametrize("fast", [False, True])
+def test_handshake_and_data_exchange(suite, fast):
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs(suite=suite, fast=fast)
+    cch, sch = establish(sim, c, s, ccfg, scfg)
+    assert str(sch.peer_identity) == "/O=Lab/CN=user"
+    assert str(cch.peer_identity) == "/O=Lab/CN=server"
+
+    def exchange():
+        cch.send_record(b"request bytes")
+        got = yield from sch.recv_record()
+        sch.send_record(b"reply to: " + got)
+        back = yield from cch.recv_record()
+        return got, back
+
+    got, back = sim.run_until_complete(sim.spawn(exchange()))
+    assert got == b"request bytes"
+    assert back == b"reply to: request bytes"
+
+
+def test_wire_bytes_are_ciphertext():
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs(suite="aes-256-cbc-sha1", fast=False)
+    cch, sch = establish(sim, c, s, ccfg, scfg)
+    captured = bytearray()
+    original = cch.sock.send
+    cch.sock.send = lambda data: (captured.extend(data), original(data))[1]
+
+    secret = b"EXTREMELY SECRET PAYLOAD" * 4
+
+    def exchange():
+        cch.send_record(secret)
+        return (yield from sch.recv_record())
+
+    assert sim.run_until_complete(sim.spawn(exchange())) == secret
+    assert secret[:16] not in bytes(captured)
+
+
+def test_server_rejects_untrusted_client():
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs(
+        client_cred=ROGUE,
+        client_anchors=[CA.certificate, ROGUE_CA.certificate],
+    )
+
+    def server_side():
+        lst = s.listen(4433)
+        sock = yield lst.accept()
+        with pytest.raises(HandshakeError, match="rejected"):
+            yield from server_handshake(sim, sock, scfg)
+        return "rejected"
+
+    def client_side():
+        sock = yield from c.connect("s", 4433)
+        try:
+            yield from client_handshake(sim, sock, ccfg)
+        except Exception:
+            pass
+
+    sp = sim.spawn(server_side())
+    sim.spawn(client_side())
+    assert sim.run_until_complete(sp) == "rejected"
+
+
+def test_client_rejects_untrusted_server():
+    sim, c, s = make_testbed()
+    # client only trusts the rogue CA -> cannot validate the real server
+    ccfg, scfg = configs(client_anchors=[ROGUE_CA.certificate])
+
+    def server_side():
+        lst = s.listen(4433)
+        sock = yield lst.accept()
+        try:
+            yield from server_handshake(sim, sock, scfg)
+        except Exception:
+            pass
+
+    def client_side():
+        sock = yield from c.connect("s", 4433)
+        with pytest.raises(HandshakeError):
+            yield from client_handshake(sim, sock, ccfg)
+        return "rejected"
+
+    sim.spawn(server_side())
+    assert sim.run_until_complete(sim.spawn(client_side())) == "rejected"
+
+
+def test_suite_mismatch_refused():
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs(suite="rc4-128-sha1", server_suite="aes-256-cbc-sha1")
+
+    def server_side():
+        lst = s.listen(4433)
+        sock = yield lst.accept()
+        with pytest.raises(HandshakeError):
+            yield from server_handshake(sim, sock, scfg)
+        return "refused"
+
+    def client_side():
+        sock = yield from c.connect("s", 4433)
+        try:
+            yield from client_handshake(sim, sock, ccfg)
+        except Exception:
+            pass
+
+    sp = sim.spawn(server_side())
+    sim.spawn(client_side())
+    assert sim.run_until_complete(sp) == "refused"
+
+
+def test_tampered_record_fails_mac():
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs(suite="null-sha1")  # plaintext + MAC: easy to tamper
+    cch, sch = establish(sim, c, s, ccfg, scfg)
+
+    original = cch.sock.send
+
+    def corrupt(data):
+        # flip one bit of the payload area past the frame header
+        mutated = bytearray(data)
+        mutated[-1] ^= 0x01
+        original(bytes(mutated))
+
+    cch.sock.send = corrupt
+
+    def exchange():
+        cch.send_record(b"authentic message")
+        with pytest.raises(IntegrityError):
+            yield from sch.recv_record()
+        return "integrity enforced"
+
+    assert sim.run_until_complete(sim.spawn(exchange())) == "integrity enforced"
+
+
+def test_explicit_renegotiation_rekeys_transparently():
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs(suite="aes-256-cbc-sha1", fast=False)
+    cch, sch = establish(sim, c, s, ccfg, scfg)
+
+    def exchange():
+        cch.send_record(b"before rekey")
+        a = yield from sch.recv_record()
+        cch.renegotiate()
+        cch.send_record(b"after rekey")
+        b = yield from sch.recv_record()
+        sch.send_record(b"server speaks post-rekey")
+        c_ = yield from cch.recv_record()
+        return a, b, c_, cch.renegotiations, sch.renegotiations
+
+    a, b, c_, cr, sr = sim.run_until_complete(sim.spawn(exchange()))
+    assert (a, b, c_) == (b"before rekey", b"after rekey", b"server speaks post-rekey")
+    assert cr == 1 and sr == 1
+
+
+def test_automatic_renegotiation_timer():
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs(suite="null-sha1", reneg=0.5)
+    cch, sch = establish(sim, c, s, ccfg, scfg)
+
+    def chatter():
+        for i in range(5):
+            yield sim.timeout(0.4)
+            cch.send_record(b"tick %d" % i)
+            got = yield from sch.recv_record()
+            assert got == b"tick %d" % i
+        return cch.renegotiations
+
+    renegs = sim.run_until_complete(sim.spawn(chatter()))
+    assert renegs >= 2
+
+
+def test_close_notify_yields_eof():
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs()
+    cch, sch = establish(sim, c, s, ccfg, scfg)
+
+    def exchange():
+        cch.close()
+        got = yield from sch.recv_record()
+        return got
+
+    assert sim.run_until_complete(sim.spawn(exchange())) is None
+
+
+def test_handshake_charges_cpu():
+    sim, c, s = make_testbed()
+    ccfg, scfg = configs()
+    establish(sim, c, s, ccfg, scfg)
+    assert c.cpu.busy_total("tls") > 0
+    assert s.cpu.busy_total("tls") > 0

@@ -1,0 +1,255 @@
+"""RPC over UDP: loss, retransmission, the DRC, and DTLS protection."""
+
+import pytest
+
+from repro.net import Host, Network
+from repro.net.datagram import DropPolicy, bind_datagram
+from repro.net.errors import NetError
+from repro.rpc import RpcProgram
+from repro.rpc.errors import RpcTransportError
+from repro.rpc.udp import UdpRpcClient, UdpRpcServer
+from repro.sim import Simulator
+from repro.tls.dtls import DatagramProtector, DtlsError, ReplayWindow, protector_pair
+from repro.xdr import Packer, Unpacker
+
+PROG = 400_000
+
+
+class Counter(RpcProgram):
+    """A deliberately NON-idempotent program: executing twice differs."""
+
+    prog, vers = PROG, 1
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.value = 0
+
+    def handle(self, proc, args, call, ctx):
+        yield self.sim.timeout(0.001)
+        self.value += 1
+        p = Packer()
+        p.pack_uint(self.value)
+        return p.get_bytes()
+
+
+def make_stack(loss_rate=0.0, protectors=(None, None), seed="loss"):
+    sim = Simulator()
+    net = Network(sim)
+    c = Host(sim, net, "c")
+    s = Host(sim, net, "s")
+    net.connect("c", "s", latency=0.002)
+    program = Counter(sim)
+    server_ep = bind_datagram(
+        sim, s, 2049, DropPolicy(loss_rate, seed=seed) if loss_rate else None
+    )
+    server = UdpRpcServer(sim, server_ep, program, protector=protectors[1])
+    client_ep = bind_datagram(sim, c, 40000)
+    client = UdpRpcClient(
+        sim, client_ep, "s", 2049, PROG, 1, timeo=0.05, protector=protectors[0]
+    )
+    return sim, client, server, program
+
+
+def call_n(sim, client, n):
+    def go():
+        out = []
+        for _ in range(n):
+            res = yield from client.call(0, b"")
+            out.append(Unpacker(res).unpack_uint())
+        return out
+
+    return sim.run_until_complete(sim.spawn(go()))
+
+
+# -- plain UDP RPC ----------------------------------------------------------------
+
+
+def test_udp_rpc_basic():
+    sim, client, server, program = make_stack()
+    assert call_n(sim, client, 3) == [1, 2, 3]
+    assert client.retransmissions == 0
+
+
+def test_udp_rpc_retransmits_through_loss():
+    sim, client, server, program = make_stack(loss_rate=0.4)
+    assert call_n(sim, client, 10) == list(range(1, 11))
+    assert client.retransmissions > 0
+
+
+def test_drc_prevents_reexecution():
+    """The defining DRC property: retransmitted non-idempotent requests
+    do not execute twice."""
+    sim, client, server, program = make_stack(loss_rate=0.4, seed="drc")
+    results = call_n(sim, client, 20)
+    # strictly sequential counter values: no request ran twice
+    assert results == list(range(1, 21))
+    assert server.drc_hits + server.calls_executed >= 20
+
+
+def test_udp_rpc_gives_up_when_server_unreachable():
+    sim = Simulator()
+    net = Network(sim)
+    c = Host(sim, net, "c")
+    Host(sim, net, "s")
+    net.connect("c", "s", latency=0.001)
+    client_ep = bind_datagram(sim, c, 40000)
+    client = UdpRpcClient(sim, client_ep, "s", 2049, PROG, 1,
+                          timeo=0.01, retrans=2)
+
+    def go():
+        with pytest.raises(RpcTransportError, match="no reply"):
+            yield from client.call(0, b"")
+        return True
+
+    assert sim.run_until_complete(sim.spawn(go()))
+
+
+def test_datagram_endpoint_basics():
+    sim = Simulator()
+    net = Network(sim)
+    a = Host(sim, net, "a")
+    b = Host(sim, net, "b")
+    net.connect("a", "b", latency=0.001)
+    ep_a = bind_datagram(sim, a, 1000)
+    ep_b = bind_datagram(sim, b, 2000)
+    with pytest.raises(NetError):
+        bind_datagram(sim, a, 1000)  # double bind
+    with pytest.raises(NetError):
+        ep_a.sendto("b", 2000, b"x" * 70000)  # oversized
+
+    def exchange():
+        ep_a.sendto("b", 2000, b"ping")
+        src, payload = yield from ep_b.recvfrom()
+        assert src == ("a", 1000)
+        ep_b.sendto(src[0], src[1], b"pong:" + payload)
+        _src2, reply = yield from ep_a.recvfrom()
+        return reply
+
+    assert sim.run_until_complete(sim.spawn(exchange())) == b"pong:ping"
+
+
+def test_send_to_unbound_port_is_silently_dropped():
+    sim = Simulator()
+    net = Network(sim)
+    a = Host(sim, net, "a")
+    Host(sim, net, "b")
+    net.connect("a", "b", latency=0.001)
+    ep = bind_datagram(sim, a, 1000)
+    ep.sendto("b", 9999, b"into the void")  # must not raise
+    sim.run()
+
+
+def test_drop_policy_determinism():
+    p1 = DropPolicy(0.5, seed="same")
+    p2 = DropPolicy(0.5, seed="same")
+    seq1 = [p1.should_drop() for _ in range(100)]
+    seq2 = [p2.should_drop() for _ in range(100)]
+    assert seq1 == seq2
+    assert 20 < sum(seq1) < 80
+
+
+# -- replay window ------------------------------------------------------------------
+
+
+def test_replay_window_rejects_duplicates():
+    w = ReplayWindow()
+    assert w.check_and_update(0)
+    assert w.check_and_update(1)
+    assert not w.check_and_update(1)
+    assert not w.check_and_update(0)
+
+
+def test_replay_window_accepts_reordering_within_window():
+    w = ReplayWindow()
+    assert w.check_and_update(10)
+    assert w.check_and_update(5)   # late but fresh
+    assert not w.check_and_update(5)
+    assert w.check_and_update(11)
+
+
+def test_replay_window_rejects_ancient():
+    w = ReplayWindow(size=8)
+    assert w.check_and_update(100)
+    assert not w.check_and_update(10)  # far outside the window
+
+
+# -- DTLS protection ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fast", [False, True])
+def test_protector_roundtrip(fast):
+    client, server = protector_pair(b"master" * 6, fast=fast)
+    for i in range(5):
+        msg = f"datagram {i}".encode()
+        assert server.open(client.seal(msg)) == msg
+        reply = f"reply {i}".encode()
+        assert client.open(server.seal(reply)) == reply
+
+
+def test_protector_hides_plaintext():
+    client, server = protector_pair(b"master" * 6, fast=False)
+    sealed = client.seal(b"SECRET-UDP-PAYLOAD" * 4)
+    assert b"SECRET-UDP-PAYLOAD" not in sealed
+
+
+def test_protector_detects_tampering():
+    client, server = protector_pair(b"master" * 6, fast=False)
+    sealed = bytearray(client.seal(b"authentic"))
+    sealed[-1] ^= 1
+    with pytest.raises(DtlsError):
+        server.open(bytes(sealed))
+    assert server.macs_rejected == 1
+
+
+def test_protector_rejects_wire_replay():
+    client, server = protector_pair(b"master" * 6)
+    sealed = client.seal(b"once only")
+    assert server.open(sealed) == b"once only"
+    with pytest.raises(DtlsError, match="replay"):
+        server.open(sealed)
+    assert server.replays_rejected == 1
+
+
+def test_protector_tolerates_loss_gaps():
+    client, server = protector_pair(b"master" * 6)
+    d0 = client.seal(b"zero")
+    d1 = client.seal(b"one")  # lost
+    d2 = client.seal(b"two")
+    assert server.open(d0) == b"zero"
+    assert server.open(d2) == b"two"  # gap is fine
+    assert server.open(d1) == b"one"  # late arrival still accepted once
+
+
+def test_directions_are_independent():
+    client, server = protector_pair(b"master" * 6)
+    with pytest.raises(DtlsError):
+        # a client cannot open its own sealed datagram (wrong direction)
+        client.open(client.seal(b"loopback?"))
+
+
+# -- end to end: secure RPC over lossy UDP ------------------------------------------------
+
+
+def test_secure_udp_rpc_over_lossy_network():
+    cp, sp = protector_pair(b"session-master" * 3)
+    sim, client, server, program = make_stack(
+        loss_rate=0.35, protectors=(cp, sp), seed="secure-loss"
+    )
+    assert call_n(sim, client, 12) == list(range(1, 13))
+    assert client.retransmissions > 0
+
+
+def test_forged_datagram_ignored_by_secure_server():
+    cp, sp = protector_pair(b"session-master" * 3)
+    sim, client, server, program = make_stack(protectors=(cp, sp))
+    # an attacker injects garbage at the server's port
+    net = client.endpoint.host.network
+    attacker_ep = bind_datagram(sim, net.nodes["c"], 41000)
+
+    def attack_then_call():
+        attacker_ep.sendto("s", 2049, b"\x00" * 64)
+        res = yield from client.call(0, b"")
+        return Unpacker(res).unpack_uint()
+
+    assert sim.run_until_complete(sim.spawn(attack_then_call())) == 1
+    assert program.value == 1  # the forgery never executed

@@ -1,0 +1,98 @@
+"""Disk timing model."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.vfs import DiskModel
+
+
+def test_cached_read_is_free():
+    sim = Simulator()
+    disk = DiskModel(sim)
+
+    def main():
+        yield from disk.read(1_000_000, cached=True)
+        return sim.now
+
+    assert sim.run_until_complete(sim.spawn(main())) == 0.0
+    assert disk.reads == 1 and disk.bytes_read == 1_000_000
+
+
+def test_uncached_read_pays_seek_and_transfer():
+    sim = Simulator()
+    disk = DiskModel(sim, access_latency=0.004, read_bandwidth=1e6)
+
+    def main():
+        yield from disk.read(1_000_000, cached=False)
+        return sim.now
+
+    assert sim.run_until_complete(sim.spawn(main())) == pytest.approx(1.004)
+
+
+def test_sync_write_pays_latency():
+    sim = Simulator()
+    disk = DiskModel(sim, access_latency=0.01, write_bandwidth=1e6)
+
+    def main():
+        yield from disk.write(500_000, sync=True)
+        return sim.now
+
+    assert sim.run_until_complete(sim.spawn(main())) == pytest.approx(0.51)
+
+
+def test_async_writes_coalesce_within_window():
+    sim = Simulator()
+    disk = DiskModel(sim, access_latency=0.01, write_bandwidth=1e6,
+                     write_delay_window=0.030)
+
+    def main():
+        yield from disk.write(1000, sync=True)     # pays latency
+        yield from disk.write(1000, sync=False)    # coalesced: no latency
+        return sim.now
+
+    elapsed = sim.run_until_complete(sim.spawn(main()))
+    assert elapsed == pytest.approx(0.01 + 0.001 + 0.001)
+
+
+def test_spindle_serializes_concurrent_io():
+    sim = Simulator()
+    disk = DiskModel(sim, access_latency=0.0, read_bandwidth=1e6,
+                     write_bandwidth=1e6)
+
+    def reader():
+        yield from disk.read(1_000_000, cached=False)
+
+    def writer():
+        yield from disk.write(1_000_000, sync=True)
+
+    sim.spawn(reader())
+    sim.spawn(writer())
+    sim.run()
+    assert sim.now == pytest.approx(2.0)  # serialized, not parallel
+
+
+def test_counters():
+    sim = Simulator()
+    disk = DiskModel(sim)
+
+    def main():
+        yield from disk.write(100, sync=True)
+        yield from disk.write(200, sync=True)
+        yield from disk.read(50, cached=True)
+
+    sim.spawn(main())
+    sim.run()
+    assert disk.writes == 2 and disk.bytes_written == 300
+    assert disk.reads == 1 and disk.bytes_read == 50
+
+
+def test_negative_sizes_rejected():
+    sim = Simulator()
+    disk = DiskModel(sim)
+
+    def bad_read():
+        yield from disk.read(-1, cached=False)
+
+    p = sim.spawn(bad_read())
+    sim.run()
+    assert p.completion.failed
