@@ -7,7 +7,16 @@ Commands:
 - ``run`` — one workload on one setup at one RTT, with per-phase output,
 - ``figure`` — regenerate one of the paper's figures as a text table,
 - ``sweep`` — a workload across a list of RTTs for two setups
-  (Figure-8-style series for any workload).
+  (Figure-8-style series for any workload),
+- ``stats`` — run with telemetry and print the cross-layer metrics
+  registry snapshot (``--json`` for machine-readable output),
+- ``trace`` — run with span tracing and write a Chrome-trace JSON file
+  loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+
+``stats`` and ``trace`` accept either a bare setup name (``sgfs``) or a
+preset: an optional ``lan-``/``wan-`` prefix (LAN = 0 RTT, WAN = 40 ms)
+and an optional ``-cache`` suffix enabling the proxy disk cache, e.g.
+``wan-sgfs-cache`` or ``lan-nfs`` (``nfs`` aliases ``nfs-v3``).
 
 Everything prints virtual-time seconds from the deterministic simulation.
 """
@@ -15,8 +24,9 @@ Everything prints virtual-time seconds from the deterministic simulation.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.core.setups import SETUP_BUILDERS
@@ -31,6 +41,42 @@ WORKLOAD_RUNNERS = {
 }
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+
+#: default WAN RTT for the ``wan-`` preset prefix (the paper's §6.4 uses
+#: 40 ms as its canonical wide-area configuration).
+WAN_RTT = 0.040
+
+_SETUP_ALIASES = {"nfs": "nfs-v3"}
+
+
+def resolve_preset(name: str) -> Tuple[str, float, Optional[dict]]:
+    """Resolve a setup preset name to ``(setup, rtt, setup_kwargs)``.
+
+    Accepts a bare setup name (``sgfs``, ``nfs-v3``) or a preset with an
+    optional ``lan-``/``wan-`` environment prefix and an optional
+    ``-cache`` suffix (proxy disk cache), e.g. ``wan-sgfs-cache``.
+    Raises ``ValueError`` on unknown names.
+    """
+    rest = name
+    rtt = 0.0
+    if rest.startswith("lan-"):
+        rest = rest[len("lan-"):]
+    elif rest.startswith("wan-"):
+        rest = rest[len("wan-"):]
+        rtt = WAN_RTT
+    setup_kwargs: Optional[dict] = None
+    if rest.endswith("-cache"):
+        rest = rest[: -len("-cache")]
+        setup_kwargs = {"disk_cache": True}
+    rest = _SETUP_ALIASES.get(rest, rest)
+    if rest not in SETUP_BUILDERS:
+        raise ValueError(
+            f"unknown setup {name!r}; setups are {sorted(SETUP_BUILDERS)} "
+            f"with optional lan-/wan- prefix and -cache suffix"
+        )
+    if setup_kwargs and rest in ("nfs-v3", "nfs-v4"):
+        raise ValueError(f"{name!r}: -cache applies only to proxied setups")
+    return rest, rtt, setup_kwargs
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -64,6 +110,33 @@ def _parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--setup", choices=sorted(SETUP_BUILDERS), default="sgfs")
     sweep_p.add_argument("--rtts-ms", default="5,10,20,40,80",
                          help="comma-separated RTT list in milliseconds")
+
+    stats_p = sub.add_parser(
+        "stats",
+        help="run with telemetry and print the metrics-registry snapshot",
+    )
+    stats_p.add_argument("setup",
+                         help="setup or preset, e.g. sgfs, lan-nfs, "
+                              "wan-sgfs-cache")
+    stats_p.add_argument("workload", choices=sorted(WORKLOAD_RUNNERS))
+    stats_p.add_argument("--rtt-ms", type=float, default=None,
+                         help="override the preset's RTT (milliseconds)")
+    stats_p.add_argument("--json", action="store_true",
+                         help="emit the snapshot as JSON (machine-readable)")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run with span tracing and write Chrome-trace JSON "
+             "(load in Perfetto or chrome://tracing)",
+    )
+    trace_p.add_argument("setup",
+                         help="setup or preset, e.g. sgfs, lan-nfs, "
+                              "wan-sgfs-cache")
+    trace_p.add_argument("workload", choices=sorted(WORKLOAD_RUNNERS))
+    trace_p.add_argument("--rtt-ms", type=float, default=None,
+                         help="override the preset's RTT (milliseconds)")
+    trace_p.add_argument("--out", default="trace.json",
+                         help="output file (default: trace.json)")
     return parser
 
 
@@ -195,6 +268,66 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _run_preset(args, out, tracing: bool):
+    """Resolve the preset + run the workload; returns result or None."""
+    try:
+        setup, rtt, setup_kwargs = resolve_preset(args.setup)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return None
+    if args.rtt_ms is not None:
+        rtt = args.rtt_ms / 1000.0
+    runner = WORKLOAD_RUNNERS[args.workload]
+    return runner(setup, rtt=rtt, setup_kwargs=setup_kwargs,
+                  telemetry=True, tracing=tracing)
+
+
+def _cmd_stats(args, out) -> int:
+    result = _run_preset(args, out, tracing=False)
+    if result is None:
+        return 2
+    if args.json:
+        print(json.dumps(result.stats, sort_keys=True, indent=2), file=out)
+        return 0
+    print(f"{args.workload} on {args.setup}: "
+          f"total={result.total:.3f}s virtual", file=out)
+    for component in sorted(k for k in result.stats
+                            if isinstance(result.stats[k], dict)):
+        print(f"  [{component}]", file=out)
+        for metric, value in sorted(result.stats[component].items()):
+            if isinstance(value, dict):
+                inner = ", ".join(f"{k}={v:g}" if isinstance(v, float)
+                                  else f"{k}={v}"
+                                  for k, v in sorted(value.items()))
+                print(f"    {metric:28s} {inner}", file=out)
+            elif isinstance(value, float):
+                print(f"    {metric:28s} {value:g}", file=out)
+            else:
+                print(f"    {metric:28s} {value}", file=out)
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    # Open the output first: a bad path should fail before the run,
+    # not after minutes of simulation.
+    try:
+        fh = open(args.out, "w", encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=out)
+        return 2
+    with fh:
+        result = _run_preset(args, out, tracing=True)
+        if result is None:
+            return 2
+        fh.write(result.trace_json(indent=None))
+    spans = len(result.tracer.spans)
+    cats = ", ".join(sorted(result.tracer.categories()))
+    print(f"wrote {args.out}: {spans} spans across [{cats}] "
+          f"({result.total:.3f}s virtual)", file=out)
+    print("open in https://ui.perfetto.dev or chrome://tracing", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = _parser().parse_args(argv)
@@ -208,6 +341,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_figure(args.name, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "stats":
+        return _cmd_stats(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     return 2  # pragma: no cover
 
 

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.net import DelayRouter, Host, Network
 from repro.nfs.server import NfsServerProgram
+from repro.obs import NULL_REGISTRY, NULL_TRACER, Registry, SpanTracer
 from repro.proxy.accounts import Account, AccountsDb
 from repro.rpc.server import RpcServer
 from repro.sim import Simulator
@@ -47,6 +48,10 @@ class Testbed:
     server_accounts: AccountsDb
     client_accounts: AccountsDb
     cal: Calibration
+    #: telemetry (repro.obs): the registry/tracer every layer hooks into.
+    #: The null singletons when the testbed was built without telemetry.
+    obs: "Registry" = NULL_REGISTRY
+    tracer: "SpanTracer" = NULL_TRACER
     _port_alloc: "itertools.count" = field(default_factory=lambda: itertools.count(20000))
 
     @classmethod
@@ -56,14 +61,27 @@ class Testbed:
         cal: Calibration = DEFAULT_CALIBRATION,
         export_owner: str = "ming",
         export_uid: int = 901,
+        telemetry: bool = False,
+        tracing: bool = False,
     ) -> "Testbed":
         """Create the §6.1 topology.
 
         ``rtt`` is the NIST-Net-emulated round-trip time *added* by the
         router (0 for the LAN runs; the base LAN RTT of ~0.3 ms comes
         from the links themselves).
+
+        ``telemetry`` enables the cross-layer metrics registry;
+        ``tracing`` additionally records causal spans for Chrome-trace
+        export.  Both are off by default and cost one attribute check
+        per instrumented call site when off.  Neither consumes virtual
+        time, so enabling them never changes simulated results.
         """
-        sim = Simulator()
+        obs = Registry() if telemetry or tracing else NULL_REGISTRY
+        sim = Simulator(obs=obs)
+        if tracing:
+            sim.tracer = SpanTracer(
+                clock=lambda: sim.now, current_track=lambda: sim.current
+            )
         net = Network(sim)
         client = Host(sim, net, "client")
         server = Host(sim, net, "server")
@@ -105,7 +123,7 @@ class Testbed:
             fs=fs, server_disk=server_disk, nfs_program=nfs_program,
             nfs_rpc_server=nfs_rpc_server,
             server_accounts=server_accounts, client_accounts=client_accounts,
-            cal=cal,
+            cal=cal, obs=sim.obs, tracer=sim.tracer,
         )
 
     # -- conveniences ------------------------------------------------------------

@@ -8,7 +8,12 @@ collects:
 - the end-of-run write-back time (reported separately, like the paper),
 - per-account CPU-utilization series from both hosts' ledgers
   (Figs. 5–6),
-- cache/proxy statistics for analysis.
+- cache/proxy statistics for analysis, populated from a
+  :class:`repro.obs.Registry` snapshot (``telemetry=True``, the
+  default) — every layer reports through the same registry instead of
+  hand-collected dicts,
+- optionally (``tracing=True``) the full causal span trace, exportable
+  as Chrome-trace JSON via :meth:`ExperimentResult.trace_json`.
 """
 
 from __future__ import annotations
@@ -35,11 +40,21 @@ class ExperimentResult:
     writeback_bytes: int = 0
     client_cpu: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     server_cpu: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: registry snapshot (component -> metric -> value) plus the legacy
+    #: "nfs_client" / "client_proxy" / "server_proxy" aliases
     stats: Dict[str, object] = field(default_factory=dict)
+    #: the testbed's span tracer when the run was traced (tracing=True)
+    tracer: Optional[object] = None
 
     @property
     def total_with_writeback(self) -> float:
         return self.total + self.writeback_seconds
+
+    def trace_json(self, indent: Optional[int] = None) -> str:
+        """The run's Chrome-trace export (requires ``tracing=True``)."""
+        if self.tracer is None:
+            raise ValueError("run was not traced; pass tracing=True")
+        return self.tracer.to_json(indent=indent)
 
     def cpu_mean(self, side: str, account: str) -> float:
         series = (self.client_cpu if side == "client" else self.server_cpu).get(account, [])
@@ -61,11 +76,19 @@ def run_workload(
     setup_kwargs: Optional[dict] = None,
     prepare: Optional[Callable[[Testbed], None]] = None,
     cpu_window: float = 5.0,
+    telemetry: bool = True,
+    tracing: bool = False,
 ) -> ExperimentResult:
-    """Build testbed + mount + run one workload; return the result."""
+    """Build testbed + mount + run one workload; return the result.
+
+    ``telemetry`` (default on) populates ``result.stats`` from the
+    cross-layer metrics registry; ``tracing`` additionally records
+    causal spans (``result.tracer`` / ``result.trace_json()``).
+    Neither affects virtual-time results.
+    """
     if setup not in SETUP_BUILDERS:
         raise KeyError(f"unknown setup {setup!r}; have {sorted(SETUP_BUILDERS)}")
-    tb = Testbed.build(rtt=rtt, cal=cal)
+    tb = Testbed.build(rtt=rtt, cal=cal, telemetry=telemetry, tracing=tracing)
     workload = workload_factory()
     if prepare is not None:
         prepare(tb)
@@ -94,15 +117,24 @@ def run_workload(
             result.client_cpu[account] = cl
         if any(pct for _t, pct in sv):
             result.server_cpu[account] = sv
+    # The registry snapshot is the canonical stats export; the legacy
+    # top-level aliases stay for callers that predate repro.obs.
+    result.stats.update(tb.obs.snapshot())
     result.stats["nfs_client"] = mount.client.cache_stats()
-    if mount.client_proxy is not None:
-        result.stats["client_proxy"] = dict(mount.client_proxy.stats)
+    if mount.client_proxy is not None and hasattr(mount.client_proxy, "stats"):
+        cp_stats = mount.client_proxy.stats
+        if isinstance(cp_stats, dict):
+            result.stats["client_proxy"] = dict(cp_stats)
     if mount.server_proxy is not None:
-        result.stats["server_proxy"] = {
-            "granted": mount.server_proxy.stats.granted,
-            "denied": mount.server_proxy.stats.denied,
-            "acl_answers": mount.server_proxy.stats.acl_answers,
-        }
+        sp_stats = getattr(mount.server_proxy, "stats", None)
+        if hasattr(sp_stats, "granted"):
+            result.stats["server_proxy"] = {
+                "granted": sp_stats.granted,
+                "denied": sp_stats.denied,
+                "acl_answers": sp_stats.acl_answers,
+            }
+    if tracing:
+        result.tracer = tb.tracer
     return result
 
 
@@ -111,37 +143,41 @@ def run_workload(
 
 def run_iozone(setup: str, rtt: float = 0.0, file_size: int = 16 * 1024 * 1024,
                cal: Calibration = DEFAULT_CALIBRATION,
-               setup_kwargs: Optional[dict] = None) -> ExperimentResult:
+               setup_kwargs: Optional[dict] = None,
+               **obs_kwargs) -> ExperimentResult:
     return run_workload(
         setup, lambda: IOzoneReadReread(file_size=file_size), rtt=rtt, cal=cal,
-        setup_kwargs=setup_kwargs,
+        setup_kwargs=setup_kwargs, **obs_kwargs,
     )
 
 
 def run_postmark(setup: str, rtt: float = 0.0,
                  config: Optional[PostMarkConfig] = None,
                  cal: Calibration = DEFAULT_CALIBRATION,
-                 setup_kwargs: Optional[dict] = None) -> ExperimentResult:
+                 setup_kwargs: Optional[dict] = None,
+                 **obs_kwargs) -> ExperimentResult:
     return run_workload(
         setup, lambda: PostMark(config), rtt=rtt, cal=cal,
-        setup_kwargs=setup_kwargs,
+        setup_kwargs=setup_kwargs, **obs_kwargs,
     )
 
 
 def run_mab(setup: str, rtt: float = 0.0,
             cal: Calibration = DEFAULT_CALIBRATION,
-            setup_kwargs: Optional[dict] = None) -> ExperimentResult:
+            setup_kwargs: Optional[dict] = None,
+            **obs_kwargs) -> ExperimentResult:
     return run_workload(
         setup, ModifiedAndrewBenchmark, rtt=rtt, cal=cal,
-        setup_kwargs=setup_kwargs,
+        setup_kwargs=setup_kwargs, **obs_kwargs,
     )
 
 
 def run_seismic(setup: str, rtt: float = 0.0,
                 config: Optional[SeismicConfig] = None,
                 cal: Calibration = DEFAULT_CALIBRATION,
-                setup_kwargs: Optional[dict] = None) -> ExperimentResult:
+                setup_kwargs: Optional[dict] = None,
+                **obs_kwargs) -> ExperimentResult:
     return run_workload(
         setup, lambda: Seismic(config), rtt=rtt, cal=cal,
-        setup_kwargs=setup_kwargs,
+        setup_kwargs=setup_kwargs, **obs_kwargs,
     )

@@ -1,19 +1,24 @@
 """Per-operation latency tracing.
 
-Wraps the RPC client under an :class:`~repro.nfs.client.NfsClient` and
+Hooks an :class:`~repro.nfs.client.NfsClient`'s ``rpc_listeners`` and
 records the virtual-time latency of every RPC by procedure, giving the
 per-op views behind the aggregate figures: latency percentiles per NFS
 procedure, call mix, and bytes moved.  Used by analysis scripts and the
 trace tests; costs nothing when not installed.
+
+Because the hook lives on the NfsClient rather than on its (replaceable)
+RpcClient, the tracer keeps recording across hard-mount reconnects.
+``install`` is idempotent — installing twice on the same client returns
+the already-attached tracer — and ``uninstall`` detaches cleanly.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.nfs.protocol import Proc
+from repro.obs import percentile
 
 
 @dataclass
@@ -45,39 +50,46 @@ class RpcTracer:
     def __init__(self, sim) -> None:
         self.sim = sim
         self.records: List[OpRecord] = []
+        self._client = None
 
     # -- installation ----------------------------------------------------
 
     @classmethod
     def install(cls, client) -> "RpcTracer":
-        """Interpose on an NfsClient's RPC layer."""
+        """Attach to an NfsClient's RPC listener hook (idempotent)."""
+        existing = getattr(client, "_rpc_tracer", None)
+        if existing is not None and existing._client is client:
+            return existing
         tracer = cls(client.sim)
-        rpc = client.rpc
-        original_call = rpc.call
-
-        def traced_call(proc, args, cred=None):
-            start = tracer.sim.now
-            if cred is None:
-                results = yield from original_call(proc, args)
-            else:
-                results = yield from original_call(proc, args, cred)
-            try:
-                name = Proc(proc).name
-            except ValueError:
-                name = str(proc)
-            tracer.records.append(
-                OpRecord(
-                    proc=name,
-                    start=start,
-                    latency=tracer.sim.now - start,
-                    args_bytes=len(args),
-                    result_bytes=len(results),
-                )
-            )
-            return results
-
-        rpc.call = traced_call
+        tracer._client = client
+        client.rpc_listeners.append(tracer._on_rpc)
+        client._rpc_tracer = tracer
         return tracer
+
+    def uninstall(self) -> None:
+        """Detach from the client; the collected records remain readable."""
+        client = self._client
+        if client is None:
+            return
+        self._client = None
+        try:
+            client.rpc_listeners.remove(self._on_rpc)
+        except ValueError:
+            pass
+        if getattr(client, "_rpc_tracer", None) is self:
+            client._rpc_tracer = None
+
+    def _on_rpc(self, proc: str, start: float, latency: float,
+                args_bytes: int, result_bytes: int) -> None:
+        self.records.append(
+            OpRecord(
+                proc=proc,
+                start=start,
+                latency=latency,
+                args_bytes=args_bytes,
+                result_bytes=result_bytes,
+            )
+        )
 
     # -- analysis -----------------------------------------------------------
 
@@ -95,8 +107,8 @@ class RpcTracer:
                 count=len(lats),
                 total_latency=sum(lats),
                 min_latency=lats[0],
-                p50=lats[len(lats) // 2],
-                p95=lats[min(len(lats) - 1, int(len(lats) * 0.95))],
+                p50=percentile(lats, 0.50),
+                p95=percentile(lats, 0.95),
                 max_latency=lats[-1],
             )
         return out

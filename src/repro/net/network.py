@@ -79,6 +79,20 @@ class Network:
         self.links: Dict[Tuple[str, str], Link] = {}
         self._adj: Dict[str, List[str]] = {}
         self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+        self.obs = sim.obs
+        self._link_metrics: Dict[str, tuple] = {}
+
+    def _metrics_for(self, link: Link) -> tuple:
+        """Per-link instruments (bytes, busy-seconds, queue-delay)."""
+        m = self._link_metrics.get(link.name)
+        if m is None:
+            m = (
+                self.obs.counter("net", "link_bytes", link=link.name),
+                self.obs.gauge("net", "link_busy_seconds", link=link.name),
+                self.obs.histogram("net", "queue_delay", link=link.name),
+            )
+            self._link_metrics[link.name] = m
+        return m
 
     # -- topology ------------------------------------------------------
 
@@ -155,10 +169,13 @@ class Network:
         Spawns an internal process that walks the route hop by hop.
         """
         path = self.route(src, dst)
+        record = self.obs.enabled
 
         def _carry():
             if len(path) == 1:
                 # Loopback: kernel-only round trip, no wire.
+                if record:
+                    self.obs.counter("net", "loopback_bytes").inc(nbytes)
                 yield self.sim.timeout(LOOPBACK_LATENCY)
                 on_arrival()
                 return
@@ -167,11 +184,18 @@ class Network:
                 u, v = path[i], path[i + 1]
                 link = self.link_between(u, v)
                 lock = link.tx_lock(u, v)
+                queued_at = self.sim.now
                 yield lock.acquire()
                 try:
+                    if record:
+                        c_bytes, g_busy, h_queue = self._metrics_for(link)
+                        c_bytes.inc(nbytes)
+                        h_queue.observe(self.sim.now - queued_at)
                     # A cut-through router forwards as bits arrive, so the
                     # segment pays serialization only once on the path.
                     if not through_cut_through:
+                        if record:
+                            g_busy.add(link.transmit_time(nbytes))
                         yield self.sim.timeout(link.transmit_time(nbytes))
                 finally:
                     lock.release()

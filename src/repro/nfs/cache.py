@@ -22,13 +22,73 @@ from repro.nfs.protocol import Fattr3, FileHandle
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting shared by every client-side cache.
+
+    Replaces the three copies of the bare ``hits``/``misses`` int idiom
+    these caches used to carry.  Registers with a :mod:`repro.obs`
+    registry as a pull collector, so enabling telemetry costs the caches
+    nothing on their hot paths — the registry reads the ints at snapshot
+    time.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def hit(self) -> None:
+        self.hits += 1
+
+    def miss(self) -> None:
+        self.misses += 1
+
+    def evict(self) -> None:
+        self.evictions += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def export(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+    def register(self, registry, component: str, name: str) -> None:
+        """Surface this cache under ``component/name`` in snapshots."""
+        registry.add_collector(component, lambda: {name: self.export()})
+
+
+class _StatsMixin:
+    """Back-compat attribute views over :class:`CacheStats`."""
+
+    stats: CacheStats
+
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def evictions(self) -> int:
+        return self.stats.evictions
+
+
+@dataclass
 class AttrEntry:
     attr: Fattr3
     fetched_at: float
     timeout: float
 
 
-class AttrCache:
+class AttrCache(_StatsMixin):
     """fileid -> attributes with kernel-style adaptive timeouts."""
 
     def __init__(
@@ -45,8 +105,7 @@ class AttrCache:
         self.ac_dir_min = ac_dir_min
         self.ac_dir_max = ac_dir_max
         self._entries: Dict[int, AttrEntry] = {}
-        self.hits = 0
-        self.misses = 0
+        self.stats = CacheStats()
 
     def _bounds(self, attr: Fattr3) -> Tuple[float, float]:
         if attr.is_dir:
@@ -56,9 +115,9 @@ class AttrCache:
     def get(self, fileid: int) -> Optional[Fattr3]:
         e = self._entries.get(fileid)
         if e is None or self.clock() - e.fetched_at > e.timeout:
-            self.misses += 1
+            self.stats.miss()
             return None
-        self.hits += 1
+        self.stats.hit()
         return e.attr
 
     def put(self, attr: Fattr3) -> None:
@@ -82,23 +141,22 @@ class AttrCache:
         self._entries.clear()
 
 
-class NameCache:
+class NameCache(_StatsMixin):
     """(dir_fileid, name) -> (FileHandle, fileid); invalidated on mutation."""
 
     def __init__(self, capacity: int = 65536):
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple[int, str], Tuple[FileHandle, int]]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self.stats = CacheStats()
 
     def get(self, dir_fileid: int, name: str) -> Optional[Tuple[FileHandle, int]]:
         key = (dir_fileid, name)
         hit = self._entries.get(key)
         if hit is None:
-            self.misses += 1
+            self.stats.miss()
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self.stats.hit()
         return hit
 
     def put(self, dir_fileid: int, name: str, fh: FileHandle, fileid: int) -> None:
@@ -107,6 +165,7 @@ class NameCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.stats.evict()
 
     def invalidate(self, dir_fileid: int, name: str) -> None:
         self._entries.pop((dir_fileid, name), None)
@@ -120,22 +179,21 @@ class NameCache:
         self._entries.clear()
 
 
-class AccessCache:
+class AccessCache(_StatsMixin):
     """(fileid, uid) -> granted-bits, valid as long as the attrs are."""
 
     def __init__(self, clock, timeout: float = 30.0):
         self.clock = clock
         self.timeout = timeout
         self._entries: Dict[Tuple[int, int], Tuple[int, float]] = {}
-        self.hits = 0
-        self.misses = 0
+        self.stats = CacheStats()
 
     def get(self, fileid: int, uid: int) -> Optional[int]:
         hit = self._entries.get((fileid, uid))
         if hit is None or self.clock() - hit[1] > self.timeout:
-            self.misses += 1
+            self.stats.miss()
             return None
-        self.hits += 1
+        self.stats.hit()
         return hit[0]
 
     def put(self, fileid: int, uid: int, bits: int) -> None:
@@ -156,7 +214,7 @@ class Page:
     dirty: bool = False
 
 
-class PageCache:
+class PageCache(_StatsMixin):
     """Bounded LRU of (fileid, block) -> Page.
 
     Eviction returns dirty victims to the caller (which must write them
@@ -169,9 +227,7 @@ class PageCache:
         self.block_size = block_size
         self._pages: "OrderedDict[Tuple[int, int], Page]" = OrderedDict()
         self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -184,10 +240,10 @@ class PageCache:
         key = (fileid, block)
         page = self._pages.get(key)
         if page is None:
-            self.misses += 1
+            self.stats.miss()
             return None
         self._pages.move_to_end(key)
-        self.hits += 1
+        self.stats.hit()
         return page
 
     def peek(self, fileid: int, block: int) -> Optional[Page]:
@@ -209,7 +265,7 @@ class PageCache:
                 self._pages.move_to_end(vkey, last=False)
                 break
             self._bytes -= len(vpage.data)
-            self.evictions += 1
+            self.stats.evict()
             if vpage.dirty:
                 victims.append((vkey[0], vkey[1], vpage))
         return victims

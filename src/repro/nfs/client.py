@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.nfs import protocol as pr
 from repro.nfs.cache import AccessCache, AttrCache, NameCache, Page, PageCache
 from repro.nfs.protocol import Fattr3, FileHandle, NfsStatus, Proc, Sattr3
+from repro.obs import NULL_SPAN
 from repro.rpc.auth import AuthSys
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import RpcTransportError
@@ -102,6 +103,13 @@ class NfsClient:
         self.retrans_max = retrans_max
         self.retrans_backoff = retrans_backoff
         self.retransmissions = 0
+        self.obs = sim.obs
+        self.tracer = sim.tracer
+        #: per-operation listeners, called as fn(proc_name, start, latency,
+        #: args_bytes, result_bytes) after every successful RPC.  Living on
+        #: the client (not the RpcClient) they survive reconnects, which
+        #: replace ``self.rpc`` wholesale.  RpcTracer rides this hook.
+        self.rpc_listeners: List = []
         self.root_fh = root_fh
         self.cred = cred
         self.block_size = block_size
@@ -128,6 +136,11 @@ class NfsClient:
         self._inflight: Dict[Tuple[int, int], object] = {}
         #: directory listing cache: dir fileid -> (mtime, entries)
         self._dir_cache: Dict[int, Tuple[float, List[pr.DirEntry]]] = {}
+        if self.obs.enabled:
+            self.attrs.stats.register(self.obs, "nfs.cache", "attr")
+            self.names.stats.register(self.obs, "nfs.cache", "name")
+            self.access_cache.stats.register(self.obs, "nfs.cache", "access")
+            self.pages.stats.register(self.obs, "nfs.cache", "page")
 
     # ------------------------------------------------------------------
     # low-level call helper
@@ -135,10 +148,11 @@ class NfsClient:
 
     def _call(self, proc: Proc, args: bytes):
         attempt = 0
+        start = self.sim.now
         while True:
             try:
                 res = yield from self.rpc.call(int(proc), args, self.cred.to_opaque())
-                return res
+                break
             except RpcTransportError:
                 # Hard-mount behavior: reconnect and retransmit.  NFSv3
                 # operations are idempotent or protected by the server's
@@ -148,8 +162,18 @@ class NfsClient:
                     raise
                 attempt += 1
                 self.retransmissions += 1
+                if self.obs.enabled:
+                    self.obs.counter("nfs.client", "retransmissions").inc()
                 yield self.sim.timeout(self.retrans_backoff * attempt)
                 self.rpc = yield from self.reconnect()
+        if self.obs.enabled or self.rpc_listeners:
+            name = proc.name if isinstance(proc, Proc) else str(proc)
+            latency = self.sim.now - start
+            if self.obs.enabled:
+                self.obs.histogram("nfs.client", "latency", proc=name).observe(latency)
+            for listener in self.rpc_listeners:
+                listener(name, start, latency, len(args), len(res))
+        return res
 
     def _remember(self, fh: FileHandle, attr: Optional[Fattr3]) -> None:
         if attr is not None:
@@ -459,9 +483,12 @@ class NfsClient:
         self._inflight[key] = ev
         try:
             offset = block * self.block_size
-            res = yield from self._call(
-                Proc.READ, pr.pack_read_args(f.fh, offset, self.block_size)
-            )
+            with self.tracer.span("nfs.cache.fill", cat="nfs-cache",
+                                  fileid=f.fileid,
+                                  block=block) if self.tracer.enabled else NULL_SPAN:
+                res = yield from self._call(
+                    Proc.READ, pr.pack_read_args(f.fh, offset, self.block_size)
+                )
             status, attr, data, _eof = pr.unpack_read_res(res)
             if attr is not None:
                 self.attrs.put(attr)
@@ -489,10 +516,14 @@ class NfsClient:
         def flusher():
             yield self._io_slots.acquire()
             try:
-                res = yield from self._call(
-                    Proc.WRITE,
-                    pr.pack_write_args(fh, block * self.block_size, data, pr.UNSTABLE),
-                )
+                with self.tracer.span("nfs.cache.flush", cat="nfs-cache",
+                                      fileid=fileid,
+                                      block=block) if self.tracer.enabled else NULL_SPAN:
+                    res = yield from self._call(
+                        Proc.WRITE,
+                        pr.pack_write_args(fh, block * self.block_size, data,
+                                           pr.UNSTABLE),
+                    )
                 status, _after, _count, _committed, _verf = pr.unpack_write_res(res)
                 _check(status, f"async WRITE block {block}")
             finally:
@@ -687,13 +718,18 @@ class NfsClient:
             yield all_of(self.sim, pending)
 
     def cache_stats(self) -> dict:
+        """All client caches under one consistent naming scheme.
+
+        Each cache exports the same ``hits``/``misses``/``evictions``
+        triple (from its :class:`~repro.nfs.cache.CacheStats`), keyed by
+        the cache's short name — matching the ``nfs.cache`` component in
+        :meth:`repro.obs.Registry.snapshot`.
+        """
         return {
-            "attr_hits": self.attrs.hits,
-            "attr_misses": self.attrs.misses,
-            "name_hits": self.names.hits,
-            "name_misses": self.names.misses,
-            "page_hits": self.pages.hits,
-            "page_misses": self.pages.misses,
-            "page_evictions": self.pages.evictions,
+            "attr": self.attrs.stats.export(),
+            "name": self.names.stats.export(),
+            "access": self.access_cache.stats.export(),
+            "page": self.pages.stats.export(),
             "rpc_calls": self.rpc.calls_sent,
+            "retransmissions": self.retransmissions,
         }

@@ -1,0 +1,239 @@
+"""Causal span tracing on the virtual clock, with Chrome-trace export.
+
+A *span* is a named interval of virtual time attributed to one layer of
+the stack (``cat``: rpc, tls, proxy, nfs-cache, disk, ...).  Spans are
+opened with ``with tracer.span("rpc.call", cat="rpc", proc="READ"):``
+around the interesting region — including regions that suspend on
+simulation events, since ``with`` works inside process generators.
+
+Causality: the simulator tracks which :class:`~repro.sim.process.Process`
+is currently executing, and the tracer keeps one span stack *per
+process*.  A span's parent is the innermost open span of the same
+process, which is exactly the call-structure causality a developer
+expects (an ``nfs.fill`` span contains its ``rpc.call`` spans; spans of
+concurrently executing processes land on separate tracks instead of
+corrupting each other's nesting).
+
+Finished spans go into a bounded ring buffer (oldest dropped first) and
+export as Chrome-trace / Perfetto ``trace_events`` JSON: complete
+(``"ph": "X"``) events with microsecond timestamps, one ``tid`` per
+simulation process, plus ``M`` metadata records naming the tracks.
+Load the file at https://ui.perfetto.dev or chrome://tracing.
+
+Everything is deterministic: timestamps come from the virtual clock,
+track ids are assigned in first-use order, and identical runs produce
+byte-identical exports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+#: Stable track identities.  ``id(owner)`` is unusable — CPython reuses
+#: the addresses of collected process objects, which would merge
+#: unrelated tracks (and nondeterministically, since reuse depends on
+#: allocator behavior).  Instead each owner is stamped with a serial
+#: from this counter the first time it opens a span.  The counter is
+#: shared by all tracers so stamps stay unique even across testbeds;
+#: exports remain deterministic because tids are assigned in first-use
+#: order per tracer, never from the stamp value itself.
+_TRACK_KEYS = itertools.count(1)
+
+
+class Span:
+    """One closed (or still-open) interval on the virtual timeline."""
+
+    __slots__ = ("span_id", "parent_id", "name", "cat", "tid", "start", "end", "args")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        cat: str,
+        tid: int,
+        start: float,
+        args: Dict[str, Any],
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.start = start
+        self.end: Optional[float] = None
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`SpanTracer.span`."""
+
+    __slots__ = ("tracer", "span", "stack")
+
+    def __init__(self, tracer: "SpanTracer", span: Span, stack: list):
+        self.tracer = tracer
+        self.span = span
+        self.stack = stack
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._close(self.span, self.stack)
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+#: Shared no-op context for hot call sites that guard span creation
+#: themselves: ``with tracer.span(...) if tracer.enabled else NULL_SPAN:``
+#: skips the keyword packing a call into ``NullTracer.span`` would pay.
+NULL_SPAN = _NULL_SPAN_CONTEXT
+
+
+class SpanTracer:
+    """Collects spans from an instrumented simulation.
+
+    ``clock`` is a zero-argument callable returning the current virtual
+    time (``lambda: sim.now``); ``current_track`` returns a hashable
+    identity + printable name for the executing context (the simulator's
+    running process).  ``capacity`` bounds the ring buffer.
+    """
+
+    enabled = True
+
+    def __init__(self, clock, current_track=None, capacity: int = 1_000_000):
+        self.clock = clock
+        self.current_track = current_track or (lambda: None)
+        self.spans: "deque[Span]" = deque(maxlen=capacity)
+        self.dropped = 0
+        self._next_id = 1
+        self._stacks: Dict[int, list] = {}
+        self._tids: Dict[int, int] = {}
+        self._tid_names: Dict[int, str] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def _track(self) -> tuple:
+        owner = self.current_track()
+        if owner is None:
+            key, label = 0, "main"
+        else:
+            key = getattr(owner, "trace_key", None)
+            if key is None:
+                key = next(_TRACK_KEYS)
+                try:
+                    owner.trace_key = key
+                except (AttributeError, TypeError):
+                    key = id(owner)  # unstampable owner: best effort
+            label = getattr(owner, "name", "proc") or "proc"
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = self._tids[key] = len(self._tids) + 1
+            self._tid_names[tid] = label
+        stack = self._stacks.get(key)
+        if stack is None:
+            stack = self._stacks[key] = []
+        return tid, stack
+
+    def span(self, name: str, cat: str = "", **args) -> _SpanContext:
+        """Open a span; close it by exiting the returned context."""
+        tid, stack = self._track()
+        parent = stack[-1].span_id if stack else None
+        s = Span(self._next_id, parent, name, cat, tid, self.clock(), args)
+        self._next_id += 1
+        stack.append(s)
+        return _SpanContext(self, s, stack)
+
+    def instant(self, name: str, cat: str = "", **args) -> None:
+        """Record a zero-duration marker (cache hit, ACL denial, ...)."""
+        with self.span(name, cat=cat, **args):
+            pass
+
+    def _close(self, span: Span, stack: list) -> None:
+        span.end = self.clock()
+        # Tolerate out-of-order closes from exception unwinding.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if len(self.spans) == self.spans.maxlen:
+            self.dropped += 1
+        self.spans.append(span)
+
+    # -- export --------------------------------------------------------
+
+    def chrome_trace(self, pid: int = 1) -> Dict[str, Any]:
+        """The run as a Chrome-trace ``trace_events`` JSON object."""
+        events: List[Dict[str, Any]] = []
+        for tid in sorted(self._tid_names):
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": self._tid_names[tid]},
+            })
+        for s in sorted(self.spans, key=lambda s: (s.start, s.span_id)):
+            if s.end is None:
+                continue
+            ev: Dict[str, Any] = {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.cat or "span",
+                "ts": round(s.start * 1e6, 3),
+                "dur": round((s.end - s.start) * 1e6, 3),
+                "pid": pid,
+                "tid": s.tid,
+            }
+            args = dict(s.args)
+            args["span_id"] = s.span_id
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
+            ev["args"] = args
+            events.append(ev)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_json(self, pid: int = 1, indent: Optional[int] = None) -> str:
+        return json.dumps(self.chrome_trace(pid=pid), sort_keys=True, indent=indent)
+
+    def categories(self) -> set:
+        return {s.cat for s in self.spans if s.end is not None}
+
+
+class NullTracer(SpanTracer):
+    """No-op tracer; ``enabled`` is False for one-check guards."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.spans = deque()
+        self.dropped = 0
+
+    def span(self, name: str, cat: str = "", **args):
+        return _NULL_SPAN_CONTEXT
+
+    def instant(self, name: str, cat: str = "", **args) -> None:
+        pass
+
+    def chrome_trace(self, pid: int = 1) -> Dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def categories(self) -> set:
+        return set()
+
+
+NULL_TRACER = NullTracer()

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.nfs import protocol as pr
+from repro.obs import NULL_SPAN
 from repro.nfs.protocol import Fattr3, FileHandle, NfsStatus, Proc
 from repro.rpc.auth import NULL_AUTH
 from repro.rpc.costs import CostProfile, FREE_PROFILE, charge_profile
@@ -193,6 +194,12 @@ class SgfsClientProxy:
         self._session_cred = None
 
         # --- statistics ----------------------------------------------------
+        self.obs = sim.obs
+        self.tracer = sim.tracer
+        if self.obs.enabled:
+            # the stats dict stays the source of truth; the registry
+            # polls it at snapshot time (pull collector, zero hot-path cost)
+            self.obs.add_collector("proxy.client", lambda: dict(self.stats))
         self.stats = {
             "local_replies": 0,
             "forwarded": 0,
@@ -377,7 +384,9 @@ class SgfsClientProxy:
             call = CallMessage.decode(record)
         except Exception:
             return
-        reply = yield from self._handle(call)
+        with self.tracer.span("proxy.serve", cat="proxy", prog=call.prog,
+                              proc=call.proc) if self.tracer.enabled else NULL_SPAN:
+            reply = yield from self._handle(call)
         encoded = reply.encode()
         yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
         try:
@@ -729,12 +738,14 @@ class SgfsClientProxy:
         """
         before_blocks = self.stats["writeback_blocks"]
         before_bytes = self.stats["writeback_bytes"]
-        for fileid in list(self._dirty.keys()):
-            fh = self._handles.get(fileid)
-            if fh is None:
-                self._dirty.pop(fileid, None)
-                continue
-            yield from self._flush_file(fh)
+        with self.tracer.span("proxy.writeback",
+                              cat="proxy") if self.tracer.enabled else NULL_SPAN:
+            for fileid in list(self._dirty.keys()):
+                fh = self._handles.get(fileid)
+                if fh is None:
+                    self._dirty.pop(fileid, None)
+                    continue
+                yield from self._flush_file(fh)
         return (
             self.stats["writeback_blocks"] - before_blocks,
             self.stats["writeback_bytes"] - before_bytes,

@@ -28,6 +28,7 @@ from repro.gsi.gridmap import Gridmap
 from repro.gsi.names import DistinguishedName
 from repro.gsi.proxy import effective_identity
 from repro.nfs import protocol as pr
+from repro.obs import NULL_SPAN
 from repro.nfs.protocol import FileHandle, Fattr3, NfsStatus, Proc
 from repro.proxy.accounts import Account, AccountsDb
 from repro.proxy.acl import AclStore, is_acl_name
@@ -100,6 +101,19 @@ class SgfsServerProxy:
         self.calls_forwarded = 0
         self._listener = None
         self._reload_pending = False
+        self.obs = sim.obs
+        self.tracer = sim.tracer
+        if self.obs.enabled:
+            self.obs.add_collector(
+                "proxy.server",
+                lambda: {
+                    "granted": self.stats.granted,
+                    "denied": self.stats.denied,
+                    "acl_answers": self.stats.acl_answers,
+                    "unix_fallbacks": self.stats.unix_fallbacks,
+                    "calls_forwarded": self.calls_forwarded,
+                },
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -189,7 +203,11 @@ class SgfsServerProxy:
             call = CallMessage.decode(record)
         except Exception:
             return  # garbage on the wire: drop
-        reply = yield from self._authorize_and_forward(upstream, call, identity, mapped)
+        with self.tracer.span("proxy.authorize", cat="proxy", prog=call.prog,
+                              proc=call.proc) if self.tracer.enabled else NULL_SPAN:
+            reply = yield from self._authorize_and_forward(
+                upstream, call, identity, mapped
+            )
         encoded = reply.encode()
         yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
         if hasattr(transport, "charge"):

@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Optional
 
+from repro.obs import NULL_SPAN
 from repro.rpc.auth import NULL_AUTH, OpaqueAuth
 from repro.rpc.costs import EndpointCost, FREE
 from repro.rpc.errors import RpcError, RpcTransportError
@@ -43,6 +44,11 @@ class RpcClient:
         self.cost = cost
         self.account = account
         self.calls_sent = 0
+        self.obs = sim.obs
+        self.tracer = sim.tracer
+        self._c_calls = self.obs.counter("rpc.client", "calls", account=account)
+        self._c_bytes_out = self.obs.counter("rpc.client", "bytes_out", account=account)
+        self._c_bytes_in = self.obs.counter("rpc.client", "bytes_in", account=account)
         self._pending: Dict[int, Event] = {}
         self._pump = sim.spawn(self._reply_pump(), name=f"rpc-pump:{prog}/{vers}")
 
@@ -63,20 +69,32 @@ class RpcClient:
         xid = next(_xid_counter)
         msg = CallMessage(xid, self.prog, self.vers, proc, cred=cred, args=args)
         record = msg.encode()
-        if self.cpu is not None:
-            yield from self.cpu.consume(self.cost.cost(len(record)), self.account)
-        ev = self.sim.event(name=f"rpc-reply:{xid}")
-        self._pending[xid] = ev
-        self.calls_sent += 1
-        try:
-            self.transport.send_record(record)
-        except Exception as exc:
-            self._pending.pop(xid, None)
-            raise RpcTransportError(f"send failed: {exc}") from exc
-        reply: ReplyMessage = yield ev
-        if self.cpu is not None:
-            yield from self.cpu.consume(
-                self.cost.cost(len(reply.results)), self.account
+        observing = self.obs.enabled
+        if observing:
+            self._c_calls.inc()
+            self._c_bytes_out.inc(len(record))
+            start = self.sim.now
+        with self.tracer.span("rpc.call", cat="rpc", prog=self.prog,
+                              proc=proc) if self.tracer.enabled else NULL_SPAN:
+            if self.cpu is not None:
+                yield from self.cpu.consume(self.cost.cost(len(record)), self.account)
+            ev = self.sim.event(name=f"rpc-reply:{xid}")
+            self._pending[xid] = ev
+            self.calls_sent += 1
+            try:
+                self.transport.send_record(record)
+            except Exception as exc:
+                self._pending.pop(xid, None)
+                raise RpcTransportError(f"send failed: {exc}") from exc
+            reply: ReplyMessage = yield ev
+            if self.cpu is not None:
+                yield from self.cpu.consume(
+                    self.cost.cost(len(reply.results)), self.account
+                )
+        if observing:
+            self._c_bytes_in.inc(len(reply.results))
+            self.obs.histogram("rpc.client", "latency", proc=proc).observe(
+                self.sim.now - start
             )
         return reply
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.obs import NULL_SPAN
 from repro.rpc.costs import EndpointCost, FREE
 from repro.rpc.errors import RpcError
 from repro.rpc.messages import (
@@ -85,6 +86,11 @@ class RpcServer:
         self.account = account
         self.name = name
         self.calls_served = 0
+        self.obs = sim.obs
+        self.tracer = sim.tracer
+        self._c_calls = self.obs.counter("rpc.server", "calls", server=name)
+        self._c_bytes_in = self.obs.counter("rpc.server", "bytes_in", server=name)
+        self._c_bytes_out = self.obs.counter("rpc.server", "bytes_out", server=name)
         self._programs: Dict[Tuple[int, int], RpcProgram] = {}
         self._versions: Dict[int, Tuple[int, int]] = {}
         self._inflight = Semaphore(sim, max_inflight, name=f"{name}.inflight")
@@ -134,17 +140,30 @@ class RpcServer:
     def _serve_call(self, transport: Transport, record: bytes):
         yield self._inflight.acquire()
         try:
+            if self.obs.enabled:
+                self._c_calls.inc()
+                self._c_bytes_in.inc(len(record))
+                start = self.sim.now
             if self.cpu is not None:
                 yield from self.cpu.consume(self.cost.cost(len(record)), self.account)
             try:
                 call = CallMessage.decode(record)
             except Exception:
                 return  # undecodable header: drop, like a real server
-            reply = yield from self._dispatch(transport, call)
-            if self.cpu is not None:
-                yield from self.cpu.consume(
-                    self.cost.cost(len(reply.results)), self.account
-                )
+            with self.tracer.span(
+                "rpc.serve", cat="rpc", server=self.name,
+                prog=call.prog, proc=call.proc,
+            ) if self.tracer.enabled else NULL_SPAN:
+                reply = yield from self._dispatch(transport, call)
+                if self.cpu is not None:
+                    yield from self.cpu.consume(
+                        self.cost.cost(len(reply.results)), self.account
+                    )
+            if self.obs.enabled:
+                self._c_bytes_out.inc(len(reply.results))
+                self.obs.histogram(
+                    "rpc.server", "service_time", server=self.name, proc=call.proc
+                ).observe(self.sim.now - start)
             try:
                 transport.send_record(reply.encode())
             except Exception:

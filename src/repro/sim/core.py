@@ -157,13 +157,28 @@ class Simulator:
 
     The simulator is single-threaded and deterministic; two runs with the
     same inputs produce identical traces.
+
+    ``obs``/``tracer`` carry the telemetry subsystem (:mod:`repro.obs`)
+    to every layer built on the simulator: components grab them at
+    construction time, so one ``Simulator(obs=..., tracer=...)`` enables
+    instrumentation stack-wide.  Both default to the shared null
+    implementations, whose ``enabled`` attribute is False — hot paths
+    guard on that one attribute check and otherwise pay nothing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None, tracer=None) -> None:
+        from repro.obs import NULL_REGISTRY, NULL_TRACER
+
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: the Process currently executing (span causality tracks)
+        self.current = None
+        self._c_events = self.obs.counter("sim", "events_dispatched")
+        self._c_wakeups = self.obs.counter("sim", "process_wakeups")
 
     # -- scheduling ----------------------------------------------------
 
@@ -205,6 +220,8 @@ class Simulator:
         """Process exactly one event."""
         when, _seq, event = heapq.heappop(self._heap)
         self.now = when
+        if self.obs.enabled:
+            self._c_events.inc()
         event._fire()
 
     def peek(self) -> float:

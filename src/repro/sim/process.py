@@ -32,12 +32,17 @@ class ProcessDied(SimError):
 class Process:
     """A cooperative process executing a generator on the virtual clock."""
 
-    __slots__ = ("sim", "name", "generator", "completion", "_waiting_on", "_started")
+    __slots__ = ("sim", "name", "generator", "completion", "_waiting_on",
+                 "_started", "trace_key")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
             raise TypeError(f"Process needs a generator, got {type(generator).__name__}")
         self.sim = sim
+        #: stable identity stamp for span tracing (set lazily by the
+        #: tracer; ``id()`` is unusable because CPython reuses addresses
+        #: of collected processes, which would merge unrelated tracks).
+        self.trace_key: Optional[int] = None
         self.name = name or getattr(generator, "__name__", "proc")
         self.generator = generator
         self.completion: Event = sim.event(name=f"completion:{self.name}")
@@ -85,6 +90,17 @@ class Process:
             return
         self._waiting_on = None
         self._started = True
+        # Mark this process as the executing context while the generator
+        # runs: span tracing attributes causality by sim.current, and the
+        # wakeup counter feeds the sim-layer metrics.  Only the tracer
+        # reads sim.current, so the bookkeeping is skipped when tracing
+        # is off — this is the hottest function in the simulator.
+        sim = self.sim
+        if sim.obs.enabled:
+            sim._c_wakeups.inc()
+        tracing = sim.tracer.enabled
+        if tracing:
+            prev, sim.current = sim.current, self
         try:
             if event is not None and event.failed:
                 target = self.generator.throw(event.exception)  # type: ignore[arg-type]
@@ -97,11 +113,18 @@ class Process:
         except BaseException as exc:
             self.completion.fail(exc)
             return
+        finally:
+            if tracing:
+                sim.current = prev
         self._wait_for(target)
 
     def _throw(self, exc: BaseException) -> None:
         if not self.alive:
             return
+        sim = self.sim
+        tracing = sim.tracer.enabled
+        if tracing:
+            prev, sim.current = sim.current, self
         try:
             target = self.generator.throw(exc)
         except StopIteration as stop:
@@ -110,6 +133,9 @@ class Process:
         except BaseException as err:
             self.completion.fail(err)
             return
+        finally:
+            if tracing:
+                sim.current = prev
         self._wait_for(target)
 
     def _wait_for(self, target: Any) -> None:

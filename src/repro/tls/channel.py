@@ -154,6 +154,12 @@ class SecureChannel(Transport):
         self._eof = False
         self.renegotiations = 0
         self.bytes_protected = 0
+        self.obs = sim.obs
+        suite = config.suite.name
+        self._c_records_out = self.obs.counter("tls", "records_out", suite=suite)
+        self._c_records_in = self.obs.counter("tls", "records_in", suite=suite)
+        self._c_bytes_sealed = self.obs.counter("tls", "bytes_sealed", suite=suite)
+        self._c_bytes_opened = self.obs.counter("tls", "bytes_opened", suite=suite)
         self._pending_recv_state: Optional[_Direction] = None
         self._reneg_timer_handle = None
         if config.renegotiate_interval:
@@ -226,6 +232,9 @@ class SecureChannel(Transport):
         proxy and RPC layers always do.
         """
         self.bytes_protected += len(record)
+        if self.obs.enabled:
+            self._c_records_out.inc()
+            self._c_bytes_sealed.inc(len(record))
         self._writer.write(self._protect(DATA, record))
 
     def recv_record(self):
@@ -239,6 +248,9 @@ class SecureChannel(Transport):
                 return None
             ctype, payload = self._unprotect(framed)
             if ctype == DATA:
+                if self.obs.enabled:
+                    self._c_records_in.inc()
+                    self._c_bytes_opened.inc(len(payload))
                 yield from self.charge(len(payload))
                 return payload
             if ctype == RENEG:
@@ -302,6 +314,9 @@ class SecureChannel(Transport):
         self._pending_recv_state = recv_new
         self._master = new_master
         self.renegotiations += 1
+        if self.obs.enabled:
+            self.obs.counter("tls", "renegotiations",
+                             suite=self.config.suite.name).inc()
 
     def _new_states(self, master: bytes) -> tuple[_Direction, _Direction]:
         c2s, s2c = _derive_directions(self.config, master, self.is_client)
@@ -373,6 +388,23 @@ def client_handshake(
     account: str = "tls",
 ):
     """Process generator: run the client side; return a SecureChannel."""
+    with sim.tracer.span(
+        "tls.handshake", cat="tls", role="client", suite=config.suite.name
+    ):
+        channel = yield from _client_handshake(sim, sock, config, cpu, account)
+    if sim.obs.enabled:
+        sim.obs.counter("tls", "handshakes", role="client",
+                        suite=config.suite.name).inc()
+    return channel
+
+
+def _client_handshake(
+    sim: Simulator,
+    sock: SimSocket,
+    config: SecurityConfig,
+    cpu: Optional[CPU],
+    account: str,
+):
     writer = RecordWriter(sock)
     reader = RecordReader()
 
@@ -448,6 +480,23 @@ def server_handshake(
     identity (base DN, proxies resolved) the server-side SGFS proxy
     authorizes against.
     """
+    with sim.tracer.span(
+        "tls.handshake", cat="tls", role="server", suite=config.suite.name
+    ):
+        channel = yield from _server_handshake(sim, sock, config, cpu, account)
+    if sim.obs.enabled:
+        sim.obs.counter("tls", "handshakes", role="server",
+                        suite=config.suite.name).inc()
+    return channel
+
+
+def _server_handshake(
+    sim: Simulator,
+    sock: SimSocket,
+    config: SecurityConfig,
+    cpu: Optional[CPU],
+    account: str,
+):
     writer = RecordWriter(sock)
     reader = RecordReader()
 

@@ -18,6 +18,7 @@ preloads the file server-side precisely to eliminate disk reads.
 
 from __future__ import annotations
 
+from repro.obs import NULL_SPAN
 from repro.sim.core import SimError, Simulator
 from repro.sim.sync import Semaphore
 
@@ -48,6 +49,19 @@ class DiskModel:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.tracer = sim.tracer
+        if sim.obs.enabled:
+            sim.obs.add_collector(
+                "disk",
+                lambda: {
+                    self.name: {
+                        "reads": self.reads,
+                        "writes": self.writes,
+                        "bytes_read": self.bytes_read,
+                        "bytes_written": self.bytes_written,
+                    }
+                },
+            )
 
     def read(self, nbytes: int, cached: bool = True):
         """Process generator: one read of nbytes (cached=in page cache)."""
@@ -58,11 +72,15 @@ class DiskModel:
         if cached:
             return  # memory hit: negligible against everything else modeled
             yield  # pragma: no cover
-        yield self._spindle.acquire()
-        try:
-            yield self.sim.timeout(self.access_latency + nbytes / self.read_bandwidth)
-        finally:
-            self._spindle.release()
+        with self.tracer.span("disk.read", cat="disk", disk=self.name,
+                              bytes=nbytes) if self.tracer.enabled else NULL_SPAN:
+            yield self._spindle.acquire()
+            try:
+                yield self.sim.timeout(
+                    self.access_latency + nbytes / self.read_bandwidth
+                )
+            finally:
+                self._spindle.release()
 
     def write(self, nbytes: int, sync: bool = True):
         """Process generator: one write; sync pays latency, async coalesces."""
@@ -70,12 +88,14 @@ class DiskModel:
             raise SimError("negative write")
         self.writes += 1
         self.bytes_written += nbytes
-        yield self._spindle.acquire()
-        try:
-            latency = self.access_latency
-            if not sync and self.sim.now - self._last_write_done < self.write_delay_window:
-                latency = 0.0  # coalesced into the in-flight stripe
-            yield self.sim.timeout(latency + nbytes / self.write_bandwidth)
-            self._last_write_done = self.sim.now
-        finally:
-            self._spindle.release()
+        with self.tracer.span("disk.write", cat="disk", disk=self.name,
+                              bytes=nbytes, sync=sync) if self.tracer.enabled else NULL_SPAN:
+            yield self._spindle.acquire()
+            try:
+                latency = self.access_latency
+                if not sync and self.sim.now - self._last_write_done < self.write_delay_window:
+                    latency = 0.0  # coalesced into the in-flight stripe
+                yield self.sim.timeout(latency + nbytes / self.write_bandwidth)
+                self._last_write_done = self.sim.now
+            finally:
+                self._spindle.release()

@@ -1,0 +1,389 @@
+"""Telemetry subsystem (repro.obs): metrics, spans, determinism, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main, resolve_preset
+from repro.core.topology import Testbed
+from repro.harness import RpcTracer, run_iozone
+from repro.nfs.cache import CacheStats
+from repro.obs import (
+    Histogram,
+    LATENCY_BOUNDS,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    Registry,
+    SpanTracer,
+    percentile,
+)
+from repro.obs.metrics import NULL_INSTRUMENT
+
+
+# -- percentile (the shared definition fixing trace.py's off-by-one) ----------
+
+
+def test_percentile_even_length_median_is_midpoint():
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 2.5
+
+
+def test_percentile_small_sample_p95_is_not_max():
+    # the old int(len * 0.95) indexing returned the max for n < 20
+    data = [1.0, 2.0, 3.0, 4.0, 100.0]
+    p95 = percentile(data, 0.95)
+    assert 4.0 < p95 < 100.0
+
+
+def test_percentile_extremes_and_errors():
+    data = [5.0, 1.0, 3.0]  # unsorted on purpose
+    assert percentile(data, 0.0) == 1.0
+    assert percentile(data, 1.0) == 5.0
+    assert percentile([7.0], 0.5) == 7.0
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+# -- histograms ---------------------------------------------------------------
+
+
+def test_histogram_bucket_edges_are_inclusive_upper():
+    h = Histogram(bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0):
+        h.observe(v)
+    # v <= bound lands in that bucket; 9.0 overflows
+    assert h.counts == [2, 2, 1, 1]
+    assert h.count == 6
+    assert h.min == 0.5 and h.max == 9.0
+
+
+def test_histogram_single_value_quantiles_collapse():
+    h = Histogram()
+    h.observe(0.007)
+    ex = h.export()
+    assert ex["p50"] == ex["p95"] == ex["p99"] == 0.007
+    assert ex["min"] == ex["max"] == 0.007
+
+
+def test_histogram_quantiles_clamped_to_observed_range():
+    h = Histogram()
+    for v in (0.002, 0.0025, 0.003, 0.02, 0.021):
+        h.observe(v)
+    for q in (0.0, 0.5, 0.95, 1.0):
+        assert 0.002 <= h.quantile(q) <= 0.021
+    assert h.quantile(0.0) < h.quantile(1.0)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram(bounds=())
+
+
+def test_latency_bounds_strictly_increasing():
+    assert all(a < b for a, b in zip(LATENCY_BOUNDS, LATENCY_BOUNDS[1:]))
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_registry_get_or_create_and_labels():
+    reg = Registry()
+    c1 = reg.counter("rpc.client", "bytes", account="alice")
+    c2 = reg.counter("rpc.client", "bytes", account="alice")
+    c3 = reg.counter("rpc.client", "bytes", account="bob")
+    assert c1 is c2 and c1 is not c3
+    c1.inc(10)
+    c3.inc(1)
+    snap = reg.snapshot()
+    assert snap["rpc.client"]["bytes{account=alice}"] == 10
+    assert snap["rpc.client"]["bytes{account=bob}"] == 1
+
+
+def test_registry_snapshot_nested_sorted_and_collectors():
+    reg = Registry()
+    reg.counter("b.comp", "z").inc()
+    reg.counter("b.comp", "a").inc(2)
+    reg.add_collector("a.comp", lambda: {"pulled": 7})
+    snap = reg.snapshot()
+    assert list(snap) == ["a.comp", "b.comp"]
+    assert list(snap["b.comp"]) == ["a", "z"]
+    assert snap["a.comp"]["pulled"] == 7
+    # snapshot is json-serializable as-is
+    json.dumps(snap)
+
+
+def test_null_registry_is_inert():
+    assert NULL_REGISTRY.enabled is False
+    assert NULL_REGISTRY.counter("x", "y") is NULL_INSTRUMENT
+    assert NULL_REGISTRY.histogram("x", "y") is NULL_INSTRUMENT
+    NULL_REGISTRY.counter("x", "y").inc()
+    NULL_REGISTRY.add_collector("x", lambda: {"boom": 1})
+    assert NULL_REGISTRY.snapshot() == {}
+
+
+# -- span tracer --------------------------------------------------------------
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class _Owner:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_span_nesting_records_parent_child():
+    clock = _FakeClock()
+    tr = SpanTracer(clock=clock)
+    with tr.span("outer", cat="rpc") as outer:
+        clock.t = 1.0
+        with tr.span("inner", cat="tls") as inner:
+            clock.t = 2.0
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert inner.start == 1.0 and inner.end == 2.0
+    assert outer.end == 2.0
+    # inner closes first, so it lands in the buffer first
+    assert [s.name for s in tr.spans] == ["inner", "outer"]
+
+
+def test_spans_on_different_processes_do_not_nest():
+    clock = _FakeClock()
+    a, b = _Owner("proc-a"), _Owner("proc-b")
+    current = {"owner": a}
+    tr = SpanTracer(clock=clock, current_track=lambda: current["owner"])
+    ctx_a = tr.span("a-work", cat="rpc")
+    sa = ctx_a.__enter__()
+    current["owner"] = b  # simulated context switch
+    with tr.span("b-work", cat="rpc") as sb:
+        clock.t = 1.0
+    current["owner"] = a
+    ctx_a.__exit__(None, None, None)
+    assert sb.parent_id is None  # b is not a child of a's open span
+    assert sa.tid != sb.tid
+
+
+def test_chrome_trace_schema_and_determinism():
+    def build():
+        clock = _FakeClock()
+        owner = _Owner("worker")
+        tr = SpanTracer(clock=clock, current_track=lambda: owner)
+        with tr.span("rpc.call", cat="rpc", proc="READ"):
+            clock.t = 0.0015
+        tr.instant("cache.hit", cat="nfs-cache")
+        return tr
+
+    tr = build()
+    doc = tr.chrome_trace()
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert meta and meta[0]["args"]["name"] == "worker"
+    assert len(xs) == 2
+    ev = xs[0]
+    assert ev["name"] == "rpc.call" and ev["cat"] == "rpc"
+    assert ev["ts"] == 0.0 and ev["dur"] == 1500.0  # microseconds
+    assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+    assert ev["args"]["proc"] == "READ" and "span_id" in ev["args"]
+    # identical traces export byte-identically
+    assert build().to_json() == tr.to_json()
+
+
+def test_span_ring_buffer_drops_oldest():
+    tr = SpanTracer(clock=_FakeClock(), capacity=2)
+    for i in range(3):
+        with tr.span(f"s{i}"):
+            pass
+    assert tr.dropped == 1
+    assert [s.name for s in tr.spans] == ["s1", "s2"]
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    with NULL_TRACER.span("anything", cat="x", k=1) as s:
+        assert s is None
+    NULL_TRACER.instant("marker")
+    assert NULL_TRACER.chrome_trace()["traceEvents"] == []
+
+
+# -- CacheStats unification ---------------------------------------------------
+
+
+def test_cache_stats_counts_and_rates():
+    st = CacheStats()
+    st.hit()
+    st.hit()
+    st.miss()
+    st.evict()
+    assert (st.hits, st.misses, st.evictions) == (2, 1, 1)
+    assert st.lookups == 3
+    assert st.hit_rate == pytest.approx(2 / 3)
+    assert st.export() == {"hits": 2, "misses": 1, "evictions": 1}
+    assert CacheStats().hit_rate == 0.0
+
+
+def test_cache_stats_register_feeds_registry():
+    reg = Registry()
+    st = CacheStats()
+    st.register(reg, "nfs.cache", "attr")
+    st.hit()
+    snap = reg.snapshot()
+    assert snap["nfs.cache"]["attr"] == {"hits": 1, "misses": 0, "evictions": 0}
+
+
+def test_nfs_client_cache_stats_keys_are_uniform():
+    from repro.core import setup_nfs_v3
+
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+
+    def job():
+        yield from mount.client.write_file("/f", b"x" * 5000)
+        yield from mount.client.read_file("/f")
+
+    tb.run(job())
+    stats = mount.client.cache_stats()
+    for cache in ("attr", "name", "access", "page"):
+        assert set(stats[cache]) == {"hits", "misses", "evictions"}
+
+
+# -- RpcTracer on the listener hook -------------------------------------------
+
+
+def test_rpc_tracer_install_is_idempotent():
+    from repro.core import setup_nfs_v3
+
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    t1 = RpcTracer.install(mount.client)
+    t2 = RpcTracer.install(mount.client)
+    assert t1 is t2
+    assert len(mount.client.rpc_listeners) == 1
+
+
+def test_rpc_tracer_uninstall_detaches():
+    from repro.core import setup_nfs_v3
+
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    tracer = RpcTracer.install(mount.client)
+    tb.run(mount.client.mkdir("/d"))
+    n = len(tracer.records)
+    assert n > 0
+    tracer.uninstall()
+    assert mount.client.rpc_listeners == []
+    tb.run(mount.client.mkdir("/d2"))
+    assert len(tracer.records) == n  # no new records after uninstall
+    tracer.uninstall()  # second uninstall is a no-op
+    # a fresh install after uninstall attaches a new tracer
+    assert RpcTracer.install(mount.client) is not tracer
+
+
+def test_rpc_tracer_survives_rpc_replacement():
+    from repro.core import setup_nfs_v3
+
+    tb = Testbed.build()
+    mount = setup_nfs_v3(tb)
+    tracer = RpcTracer.install(mount.client)
+    # a hard-mount reconnect swaps client.rpc wholesale; the hook lives
+    # on the NfsClient, so it must remain attached
+    mount.client.rpc = mount.client.rpc
+    assert tracer._on_rpc in mount.client.rpc_listeners
+
+
+# -- end-to-end determinism + layer coverage ----------------------------------
+
+
+def _traced_run():
+    # disk_cache=True so the proxy's cache disk shows up in the trace
+    # (the IOzone file is preloaded server-side, so the server disk
+    # alone would stay idle on this read-only workload)
+    return run_iozone(
+        "sgfs", rtt=0.0, file_size=512 * 1024,
+        setup_kwargs={"cache_bytes": 256 * 1024, "disk_cache": True},
+        telemetry=True, tracing=True,
+    )
+
+
+def test_identical_runs_export_identically():
+    r1, r2 = _traced_run(), _traced_run()
+    assert r1.total == r2.total
+    snap1 = json.dumps(r1.stats, sort_keys=True)
+    snap2 = json.dumps(r2.stats, sort_keys=True)
+    assert snap1 == snap2
+    assert r1.trace_json() == r2.trace_json()
+
+
+def test_traced_sgfs_run_covers_the_stack():
+    r = _traced_run()
+    cats = r.tracer.categories()
+    assert {"rpc", "tls", "proxy", "nfs-cache", "disk"} <= cats
+    components = set(r.stats)
+    assert {"rpc.client", "rpc.server", "tls", "proxy.client",
+            "proxy.server", "nfs.cache", "nfs.client", "sim", "net"} <= components
+    doc = json.loads(r.trace_json())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_telemetry_disabled_run_matches_enabled_virtual_time():
+    base = run_iozone("nfs-v3", rtt=0.0, file_size=256 * 1024,
+                      telemetry=False)
+    obs = run_iozone("nfs-v3", rtt=0.0, file_size=256 * 1024,
+                     telemetry=True, tracing=True)
+    assert base.total == obs.total
+    assert base.stats.get("sim") is None  # no registry when disabled
+    assert "sim" in obs.stats
+
+
+# -- CLI presets + commands ---------------------------------------------------
+
+
+def test_resolve_preset():
+    assert resolve_preset("wan-sgfs-cache") == ("sgfs", 0.040, {"disk_cache": True})
+    assert resolve_preset("lan-nfs") == ("nfs-v3", 0.0, None)
+    assert resolve_preset("sgfs") == ("sgfs", 0.0, None)
+    assert resolve_preset("wan-nfs") == ("nfs-v3", 0.040, None)
+    with pytest.raises(ValueError):
+        resolve_preset("lan-bogus")
+    with pytest.raises(ValueError):
+        resolve_preset("lan-nfs-cache")  # disk cache needs a proxy
+
+
+def test_cli_stats_json(capsys_out=None):
+    import io
+
+    out = io.StringIO()
+    rc = main(["stats", "lan-nfs", "iozone", "--json"], out=out)
+    assert rc == 0
+    doc = json.loads(out.getvalue())
+    assert "rpc.client" in doc and "sim" in doc
+
+
+def test_cli_stats_rejects_unknown_preset():
+    import io
+
+    out = io.StringIO()
+    rc = main(["stats", "lan-bogus", "iozone"], out=out)
+    assert rc == 2
+    assert "unknown setup" in out.getvalue()
+
+
+def test_cli_trace_writes_chrome_json(tmp_path):
+    import io
+
+    out_file = tmp_path / "trace.json"
+    out = io.StringIO()
+    rc = main(["trace", "sgfs", "iozone", "--out", str(out_file)], out=out)
+    assert rc == 0
+    doc = json.loads(out_file.read_text())
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert xs and {"ts", "dur", "pid", "tid", "name", "cat"} <= set(xs[0])
+    assert "perfetto" in out.getvalue()
