@@ -1,0 +1,136 @@
+"""Wall-clock performance harness — the repo's perf trajectory.
+
+Times representative setups (``nfs-v3``, ``sgfs``, ``sgfs-aes``,
+``gfs-ssh`` at LAN and 80 ms WAN) on the IOzone read/re-read workload
+and writes ``BENCH_PERF.json``: wall seconds, virtual seconds, events
+dispatched, heap pushes, and events/second per scenario.  Virtual time
+and event counts are fully deterministic; wall seconds vary with the
+machine, so trend them per-host.
+
+The ``pinned`` scenario (``sgfs-aes``, LAN, 2 MB IOzone) runs with the
+same configuration in every mode; its deterministic ``events_dispatched``
+count is the regression guard CI enforces against the committed
+``BENCH_PERF.json`` (``--check-against``, >10% growth fails).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_wallclock.py            # full
+    PYTHONPATH=src python benchmarks/perf_wallclock.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/perf_wallclock.py --smoke \
+        --out /tmp/BENCH_PERF.json --check-against BENCH_PERF.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness import run_iozone
+
+MB = 1024 * 1024
+
+#: (label, setup, rtt_seconds) — representative corners of the paper's
+#: evaluation: plain kernel NFS, the secure proxied stack with and
+#: without AES, and the SSH-tunnel alternative, each at LAN and WAN.
+SCENARIOS = (
+    ("lan-nfs-v3", "nfs-v3", 0.0),
+    ("lan-sgfs", "sgfs", 0.0),
+    ("lan-sgfs-aes", "sgfs-aes", 0.0),
+    ("lan-gfs-ssh", "gfs-ssh", 0.0),
+    ("wan80-nfs-v3", "nfs-v3", 0.080),
+    ("wan80-sgfs", "sgfs", 0.080),
+    ("wan80-sgfs-aes", "sgfs-aes", 0.080),
+    ("wan80-gfs-ssh", "gfs-ssh", 0.080),
+)
+
+#: The regression-guard scenario: identical config in full and smoke
+#: modes, so the committed baseline is comparable across runs.
+PINNED = ("pinned-iozone-lan-sgfs-aes", "sgfs-aes", 0.0, 2 * MB, 1 * MB)
+
+
+def _measure(setup: str, rtt: float, file_size: int, cache_bytes: int) -> dict:
+    t0 = time.perf_counter()
+    r = run_iozone(setup, rtt=rtt, file_size=file_size,
+                   setup_kwargs={"cache_bytes": cache_bytes}, telemetry=True)
+    wall = time.perf_counter() - t0
+    sim = r.stats["sim"]
+    events = sim["events_dispatched"]
+    return {
+        "wall_seconds": round(wall, 4),
+        "virtual_seconds": r.total,
+        "events_dispatched": events,
+        "heap_pushes": sim["heap_pushes"],
+        "process_wakeups": sim["process_wakeups"],
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+    }
+
+
+def run_benchmarks(smoke: bool) -> dict:
+    file_size = 1 * MB if smoke else 16 * MB
+    cache_bytes = file_size // 2
+    out = {
+        "benchmark": "perf_wallclock",
+        "workload": "iozone-read-reread",
+        "mode": "smoke" if smoke else "full",
+        "file_size": file_size,
+        "scenarios": {},
+    }
+    for label, setup, rtt in SCENARIOS:
+        out["scenarios"][label] = _measure(setup, rtt, file_size, cache_bytes)
+        print(f"  {label:18s} {_fmt(out['scenarios'][label])}")
+    label, setup, rtt, fsize, cbytes = PINNED
+    out["scenarios"][label] = _measure(setup, rtt, fsize, cbytes)
+    print(f"  {label:18s} {_fmt(out['scenarios'][label])}")
+    return out
+
+
+def _fmt(m: dict) -> str:
+    return (f"wall={m['wall_seconds']:7.3f}s virt={m['virtual_seconds']:10.3f}s "
+            f"events={m['events_dispatched']:>8d} heap={m['heap_pushes']:>8d} "
+            f"({m['events_per_sec']}/s)")
+
+
+def check_regression(current: dict, baseline_path: str, tolerance: float = 0.10) -> int:
+    """Compare the pinned scenario's deterministic event count against a
+    committed baseline; >``tolerance`` growth is a failure."""
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    label = PINNED[0]
+    base = baseline["scenarios"][label]["events_dispatched"]
+    cur = current["scenarios"][label]["events_dispatched"]
+    limit = base * (1.0 + tolerance)
+    print(f"regression check [{label}]: events {cur} vs baseline {base} "
+          f"(limit {limit:.0f})")
+    if cur > limit:
+        print(f"FAIL: events_dispatched regressed "
+              f"{100.0 * (cur - base) / base:.1f}% (> {tolerance:.0%})")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small file size for CI (pinned scenario unchanged)")
+    parser.add_argument("--out", default="BENCH_PERF.json",
+                        help="output path (default: BENCH_PERF.json)")
+    parser.add_argument("--check-against", metavar="BASELINE",
+                        help="fail if the pinned scenario's events_dispatched "
+                             "regressed >10%% vs this committed BENCH_PERF.json")
+    args = parser.parse_args(argv)
+    print(f"perf_wallclock ({'smoke' if args.smoke else 'full'} mode)")
+    result = run_benchmarks(smoke=args.smoke)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if args.check_against:
+        return check_regression(result, args.check_against)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,12 +26,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.core.setups import SETUP_BUILDERS
 from repro.crypto.suites import SUITES
 from repro.harness import run_iozone, run_mab, run_postmark, run_seismic
+from repro.harness.presets import WAN_RTT, resolve_preset  # noqa: F401 (re-export)
 
 WORKLOAD_RUNNERS = {
     "iozone": run_iozone,
@@ -41,42 +42,6 @@ WORKLOAD_RUNNERS = {
 }
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
-
-#: default WAN RTT for the ``wan-`` preset prefix (the paper's §6.4 uses
-#: 40 ms as its canonical wide-area configuration).
-WAN_RTT = 0.040
-
-_SETUP_ALIASES = {"nfs": "nfs-v3"}
-
-
-def resolve_preset(name: str) -> Tuple[str, float, Optional[dict]]:
-    """Resolve a setup preset name to ``(setup, rtt, setup_kwargs)``.
-
-    Accepts a bare setup name (``sgfs``, ``nfs-v3``) or a preset with an
-    optional ``lan-``/``wan-`` environment prefix and an optional
-    ``-cache`` suffix (proxy disk cache), e.g. ``wan-sgfs-cache``.
-    Raises ``ValueError`` on unknown names.
-    """
-    rest = name
-    rtt = 0.0
-    if rest.startswith("lan-"):
-        rest = rest[len("lan-"):]
-    elif rest.startswith("wan-"):
-        rest = rest[len("wan-"):]
-        rtt = WAN_RTT
-    setup_kwargs: Optional[dict] = None
-    if rest.endswith("-cache"):
-        rest = rest[: -len("-cache")]
-        setup_kwargs = {"disk_cache": True}
-    rest = _SETUP_ALIASES.get(rest, rest)
-    if rest not in SETUP_BUILDERS:
-        raise ValueError(
-            f"unknown setup {name!r}; setups are {sorted(SETUP_BUILDERS)} "
-            f"with optional lan-/wan- prefix and -cache suffix"
-        )
-    if setup_kwargs and rest in ("nfs-v3", "nfs-v4"):
-        raise ValueError(f"{name!r}: -cache applies only to proxied setups")
-    return rest, rtt, setup_kwargs
 
 
 def _parser() -> argparse.ArgumentParser:

@@ -3,25 +3,49 @@
 Implemented from the definition (ipad/opad construction) rather than via
 ``import hmac`` so the construction itself is under test — the paper's
 integrity guarantee for every SGFS configuration rests on SHA1-HMAC.
+
+The constructor for each hash algorithm is resolved once and cached:
+``hashlib.new(name)`` re-resolves the algorithm by string on every call,
+and a small run makes 12k+ ``hmac_digest`` calls (two to three digests
+each), so the lookup was pure per-message overhead.  The ipad/opad keys
+use ``bytes.translate`` over precomputed 256-byte tables instead of a
+per-byte Python loop.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Callable
+from typing import Callable, Dict, Tuple
+
+#: XOR-by-constant translation tables for the padded key (RFC 2104).
+_IPAD_TABLE = bytes(b ^ 0x36 for b in range(256))
+_OPAD_TABLE = bytes(b ^ 0x5C for b in range(256))
+
+#: hash_name -> (constructor, block_size), resolved once per algorithm.
+_DIGESTS: Dict[str, Tuple[Callable, int]] = {}
+
+
+def _digest(hash_name: str) -> Tuple[Callable, int]:
+    entry = _DIGESTS.get(hash_name)
+    if entry is None:
+        # Prefer the direct hashlib constructor (e.g. hashlib.sha1);
+        # fall back to hashlib.new for OpenSSL-only algorithms.
+        ctor = getattr(hashlib, hash_name, None)
+        if ctor is None:
+            def ctor(data=b"", _name=hash_name):
+                return hashlib.new(_name, data)
+        entry = _DIGESTS[hash_name] = (ctor, ctor().block_size)
+    return entry
 
 
 def hmac_digest(key: bytes, message: bytes, hash_name: str = "sha1") -> bytes:
     """HMAC(key, message) with the named hashlib algorithm."""
-    h: Callable = lambda data=b"": hashlib.new(hash_name, data)
-    block_size = h().block_size
+    h, block_size = _digest(hash_name)
     if len(key) > block_size:
         key = h(key).digest()
     key = key.ljust(block_size, b"\x00")
-    ipad = bytes(b ^ 0x36 for b in key)
-    opad = bytes(b ^ 0x5C for b in key)
-    inner = h(ipad + message).digest()
-    return h(opad + inner).digest()
+    inner = h(key.translate(_IPAD_TABLE) + message).digest()
+    return h(key.translate(_OPAD_TABLE) + inner).digest()
 
 
 def hmac_sha1(key: bytes, message: bytes) -> bytes:

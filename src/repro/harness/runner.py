@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.setups import SETUP_BUILDERS, Mount
 from repro.core.topology import Testbed
+from repro.harness.presets import resolve_preset
 from repro.workloads.iozone import IOzoneReadReread
 from repro.workloads.mab import ModifiedAndrewBenchmark
 from repro.workloads.postmark import PostMark, PostMarkConfig
@@ -87,7 +88,21 @@ def run_workload(
     Neither affects virtual-time results.
     """
     if setup not in SETUP_BUILDERS:
-        raise KeyError(f"unknown setup {setup!r}; have {sorted(SETUP_BUILDERS)}")
+        # Accept the CLI's preset dialect too (lan-/wan- prefix, -cache
+        # suffix, the "nfs" alias) so both spellings work everywhere.
+        try:
+            setup, preset_rtt, preset_kwargs = resolve_preset(setup)
+        except ValueError as exc:
+            raise KeyError(
+                f"{exc}; CLI presets like 'lan-nfs' or 'wan-sgfs-cache' "
+                f"are accepted here as well"
+            ) from None
+        if rtt == 0.0:
+            rtt = preset_rtt
+        if preset_kwargs:
+            merged = dict(preset_kwargs)
+            merged.update(setup_kwargs or {})
+            setup_kwargs = merged
     tb = Testbed.build(rtt=rtt, cal=cal, telemetry=telemetry, tracing=tracing)
     workload = workload_factory()
     if prepare is not None:

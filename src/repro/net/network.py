@@ -12,6 +12,22 @@ latency; intermediate nodes add their ``forward_delay`` (zero for plain
 hosts, the configured emulation delay for a :class:`DelayRouter`).
 Per-connection ordering is preserved because the per-direction link
 queues are FIFO and all segments of a connection follow the same path.
+
+Two delivery engines implement those semantics:
+
+- the **callback chain** (:class:`_Delivery`) — one small reusable state
+  object per segment that walks the hops by chaining timeout callbacks.
+  It is used while every hop's transmit lock is free (the overwhelmingly
+  common case) and allocates no generator, no process, and no
+  per-hop closure;
+- the **generator fallback** (:meth:`Network._carry_rest`) — the
+  classic process-based walk, entered the moment a hop finds its link
+  contended.  The blocking ``acquire()`` is issued *before* spawning so
+  the segment keeps its exact FIFO position in the link queue.
+
+Both paths fire the same transmit/propagation timeouts at the same
+virtual instants, so results are identical whichever engine carries a
+segment.
 """
 
 from __future__ import annotations
@@ -55,6 +71,10 @@ class Link:
             (a, b): Semaphore(sim, 1, name=f"{self.name}:{a}->{b}"),
             (b, a): Semaphore(sim, 1, name=f"{self.name}:{b}->{a}"),
         }
+        #: per-link telemetry instruments, resolved once on first use by
+        #: :meth:`Network._metrics_for` and cached here so the per-packet
+        #: hot loop never repeats the registry lookups.
+        self._obs_metrics: Optional[tuple] = None
 
     def other_end(self, node: str) -> str:
         if node == self.a:
@@ -80,18 +100,20 @@ class Network:
         self._adj: Dict[str, List[str]] = {}
         self._route_cache: Dict[Tuple[str, str], List[str]] = {}
         self.obs = sim.obs
-        self._link_metrics: Dict[str, tuple] = {}
+        # Lazily created so runs with no loopback traffic snapshot
+        # exactly as before (no spurious zero-valued counter).
+        self._c_loopback = None
 
     def _metrics_for(self, link: Link) -> tuple:
-        """Per-link instruments (bytes, busy-seconds, queue-delay)."""
-        m = self._link_metrics.get(link.name)
+        """Per-link instruments (bytes, busy-seconds, queue-delay),
+        created on first use and cached on the link object itself."""
+        m = link._obs_metrics
         if m is None:
-            m = (
+            m = link._obs_metrics = (
                 self.obs.counter("net", "link_bytes", link=link.name),
                 self.obs.gauge("net", "link_busy_seconds", link=link.name),
                 self.obs.histogram("net", "queue_delay", link=link.name),
             )
-            self._link_metrics[link.name] = m
         return m
 
     # -- topology ------------------------------------------------------
@@ -166,50 +188,171 @@ class Network:
     ) -> None:
         """Carry a segment of ``nbytes`` from src to dst; call ``on_arrival``.
 
-        Spawns an internal process that walks the route hop by hop.
+        The segment starts its first hop at the current instant, after
+        already-queued events (the same position the spawned carrier
+        process historically started from), then walks the route via
+        the callback chain, dropping to the generator fallback if a
+        hop's transmit lock is contended.
         """
-        path = self.route(src, dst)
+        self.sim._schedule_now(_Delivery(self, self.route(src, dst),
+                                         nbytes, on_arrival))
+
+    def _carry_rest(self, d: "_Delivery", acquire_ev):
+        """Generator fallback: finish a delivery whose hop ``d.i`` found
+        its link contended.
+
+        ``acquire_ev`` is the already-issued (queued) acquire for hop
+        ``d.i`` — issuing it *before* the spawn keeps the segment's FIFO
+        position in the link queue exactly where the historical
+        all-generator engine put it.
+        """
+        sim = self.sim
         record = self.obs.enabled
-
-        def _carry():
-            if len(path) == 1:
-                # Loopback: kernel-only round trip, no wire.
+        path, nbytes = d.path, d.nbytes
+        i, cut, queued_at = d.i, d.cut, sim.now
+        last = len(path) - 1
+        while i < last:
+            u, v = path[i], path[i + 1]
+            link = self.link_between(u, v)
+            lock = link.tx_lock(u, v)
+            if acquire_ev is None:
+                queued_at = sim.now
+                acquire_ev = lock.acquire()
+            yield acquire_ev
+            acquire_ev = None
+            try:
                 if record:
-                    self.obs.counter("net", "loopback_bytes").inc(nbytes)
-                yield self.sim.timeout(LOOPBACK_LATENCY)
-                on_arrival()
-                return
-            through_cut_through = False
-            for i in range(len(path) - 1):
-                u, v = path[i], path[i + 1]
-                link = self.link_between(u, v)
-                lock = link.tx_lock(u, v)
-                queued_at = self.sim.now
-                yield lock.acquire()
-                try:
+                    c_bytes, g_busy, h_queue = self._metrics_for(link)
+                    c_bytes.inc(nbytes)
+                    h_queue.observe(sim.now - queued_at)
+                # A cut-through router forwards as bits arrive, so the
+                # segment pays serialization only once on the path.
+                if not cut:
+                    tx = link.transmit_time(nbytes)
                     if record:
-                        c_bytes, g_busy, h_queue = self._metrics_for(link)
-                        c_bytes.inc(nbytes)
-                        h_queue.observe(self.sim.now - queued_at)
-                    # A cut-through router forwards as bits arrive, so the
-                    # segment pays serialization only once on the path.
-                    if not through_cut_through:
-                        if record:
-                            g_busy.add(link.transmit_time(nbytes))
-                        yield self.sim.timeout(link.transmit_time(nbytes))
-                finally:
-                    lock.release()
-                yield self.sim.timeout(link.latency)
-                # Intermediate node adds its forwarding/emulation delay.
-                if i + 1 < len(path) - 1:
-                    node = self.nodes[v]
-                    if node.forward_delay > 0:
-                        yield self.sim.timeout(node.forward_delay)
-                    if getattr(node, "cut_through", False):
-                        through_cut_through = True
-            on_arrival()
+                        g_busy.add(tx)
+                    yield sim.timeout(tx)
+            finally:
+                lock.release()
+            yield sim.timeout(link.latency)
+            # Intermediate node adds its forwarding/emulation delay.
+            if i + 1 < last:
+                node = self.nodes[v]
+                if node.forward_delay > 0:
+                    yield sim.timeout(node.forward_delay)
+                if getattr(node, "cut_through", False):
+                    cut = True
+            i += 1
+        d.on_arrival()
 
-        self.sim.spawn(_carry(), name=f"pkt:{src}->{dst}")
+
+#: _Delivery chain states: which timeout the next __call__ answers.
+_TX_DONE = 1       # transmission finished: release the lock, propagate
+_PROPAGATED = 2    # propagation finished: arrive or forward
+_FORWARDED = 3     # router forward delay finished: start the next hop
+
+
+class _Delivery:
+    """Callback-chained hop walker — one reusable object per segment.
+
+    The object is its own zero-delay queue entry (``_fire`` starts hop
+    0 at the segment's FIFO position) and its own timeout callback
+    (``__call__`` advances the chain by ``state``), so carrying a
+    segment over an uncontended path allocates only the unavoidable
+    transmit/propagation :class:`~repro.sim.core.Timeout` events.
+    """
+
+    __slots__ = ("_when", "_seq", "net", "path", "nbytes", "on_arrival",
+                 "i", "cut", "state", "link", "lock")
+
+    def __init__(self, net: Network, path: List[str], nbytes: int,
+                 on_arrival: Callable[[], None]):
+        self.net = net
+        self.path = path
+        self.nbytes = nbytes
+        self.on_arrival = on_arrival
+        self.i = 0          # current hop index (path[i] -> path[i+1])
+        self.cut = False    # passed a cut-through router already?
+        self.state = 0
+        self.link: Optional[Link] = None
+        self.lock = None
+
+    # -- queue-entry hook ----------------------------------------------
+
+    def _fire(self) -> None:
+        net = self.net
+        path = self.path
+        if len(path) == 1:
+            # Loopback: kernel-only round trip, no wire.
+            if net.obs.enabled:
+                c = net._c_loopback
+                if c is None:
+                    c = net._c_loopback = net.obs.counter("net", "loopback_bytes")
+                c.inc(self.nbytes)
+            self.state = _PROPAGATED
+            net.sim.timeout(LOOPBACK_LATENCY).add_callback(self)
+            return
+        self._start_hop()
+
+    # -- chain ---------------------------------------------------------
+
+    def _start_hop(self) -> None:
+        net = self.net
+        i = self.i
+        u, v = self.path[i], self.path[i + 1]
+        link = self.link = net.link_between(u, v)
+        lock = self.lock = link.tx_lock(u, v)
+        if not lock.try_acquire():
+            # Contended: queue for the lock *now* (preserving FIFO
+            # order) and let the generator engine finish the walk.
+            net.sim.spawn(net._carry_rest(self, lock.acquire()),
+                          name=f"pkt:{self.path[0]}->{self.path[-1]}")
+            return
+        sim = net.sim
+        tx = 0.0 if self.cut else link.transmit_time(self.nbytes)
+        if net.obs.enabled:
+            c_bytes, g_busy, h_queue = net._metrics_for(link)
+            c_bytes.inc(self.nbytes)
+            h_queue.observe(0.0)  # try_acquire succeeded: no queueing
+            if not self.cut:
+                g_busy.add(tx)
+        if not self.cut:
+            self.state = _TX_DONE
+            sim.timeout(tx).add_callback(self)
+        else:
+            # Cut-through: serialization was already paid upstream.
+            lock.release()
+            self.state = _PROPAGATED
+            sim.timeout(link.latency).add_callback(self)
+
+    def __call__(self, _event) -> None:
+        state = self.state
+        if state == _TX_DONE:
+            self.lock.release()
+            self.state = _PROPAGATED
+            self.net.sim.timeout(self.link.latency).add_callback(self)
+            return
+        if state == _PROPAGATED:
+            i = self.i
+            path = self.path
+            if i + 1 >= len(path) - 1:
+                self.on_arrival()
+                return
+            node = self.net.nodes[path[i + 1]]
+            if node.forward_delay > 0:
+                self.state = _FORWARDED
+                self.net.sim.timeout(node.forward_delay).add_callback(self)
+                return
+            self._next_hop(node)
+            return
+        # _FORWARDED
+        self._next_hop(self.net.nodes[self.path[self.i + 1]])
+
+    def _next_hop(self, node) -> None:
+        if getattr(node, "cut_through", False):
+            self.cut = True
+        self.i += 1
+        self._start_hop()
 
 
 class NodeLike:

@@ -1,19 +1,48 @@
 """Event loop and virtual clock.
 
-The design follows the classic calendar-queue pattern: a binary heap of
-``(time, seq, Event)`` entries, where ``seq`` is a monotonically
-increasing insertion counter that makes simultaneous events fire in a
-deterministic (FIFO) order.  Events are one-shot: they move from *pending*
-to either *succeeded* or *failed*, and callbacks registered on them run
-inline when they fire.
+The scheduler has two lanes that together behave exactly like one
+calendar queue ordered by ``(time, seq)``:
 
-This module knows nothing about processes; :mod:`repro.sim.process` builds
-generator-based coroutines on top of the primitives here.
+- a binary heap of ``(time, seq, entry)`` tuples for entries with a
+  positive delay, and
+- a zero-delay FIFO deque for entries firing "now" — ``succeed()`` /
+  ``fail()``, zero-delay timeouts, and process kicks.  Because the
+  clock never goes backwards and ``seq`` is a global monotonically
+  increasing insertion counter, the deque is sorted by ``(time, seq)``
+  by construction and costs O(1) per operation instead of O(log n).
+
+Most events in a run fire at the instant they are scheduled (an RPC
+reply succeeding a waiter, a semaphore handing over a slot, a channel
+put meeting a getter), so the zero-delay lane carries the bulk of the
+traffic and the heap shrinks to genuine future work — transmission and
+propagation delays, disk access times, CPU busy intervals.
+
+``step()`` dispatches the globally smallest ``(time, seq)`` entry across
+both lanes, so event ordering is bit-identical to the single-heap
+implementation this replaced; the determinism guarantees (FIFO
+tie-breaking, replayable traces) are unchanged.
+
+Queue entries are any object with ``_when`` / ``_seq`` slots and a
+``_fire()`` method.  Events are their own queue entry — the zero-delay
+lane stores the event object directly, with no per-entry tuple — and
+:class:`repro.sim.process.Process` schedules itself the same way for
+process kicks and floor-yields, so neither allocates intermediate
+objects on the hot path.
+
+Events are one-shot: they move from *pending* to either *succeeded* or
+*failed*, and callbacks registered on them run inline when they fire.
+The callback store is lazy: ``None`` until the first registration, the
+bare callable for the (overwhelmingly common) single-callback case, and
+a list only when a second callback arrives.
+
+This module knows nothing about processes; :mod:`repro.sim.process`
+builds generator-based coroutines on top of the primitives here.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 
@@ -50,12 +79,14 @@ class Event:
     the failure exception raised inside it).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_scheduled", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_scheduled", "name",
+                 "_when", "_seq")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        self.callbacks: list[Callable[["Event"], None]] = []
+        #: None | a single callable | a list of callables (lazy upgrade)
+        self.callbacks: Any = None
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
         self._scheduled = False
@@ -89,20 +120,20 @@ class Event:
     # -- triggering ----------------------------------------------------
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimError(f"event {self.name!r} already triggered")
         self._value = value
-        self.sim._schedule(0.0, self)
+        self.sim._schedule_now(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimError(f"event {self.name!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() needs an exception instance")
         self._exc = exc
         self._value = None
-        self.sim._schedule(0.0, self)
+        self.sim._schedule_now(self)
         return self
 
     # -- callbacks -----------------------------------------------------
@@ -115,14 +146,26 @@ class Event:
         """
         if self._scheduled and self.triggered:
             fn(self)
+            return
+        cbs = self.callbacks
+        if cbs is None:
+            self.callbacks = fn
+        elif type(cbs) is list:
+            cbs.append(fn)
         else:
-            self.callbacks.append(fn)
+            self.callbacks = [cbs, fn]
 
     def _fire(self) -> None:
         self._scheduled = True
-        callbacks, self.callbacks = self.callbacks, []
-        for fn in callbacks:
-            fn(self)
+        cbs = self.callbacks
+        if cbs is None:
+            return
+        self.callbacks = None
+        if type(cbs) is list:
+            for fn in cbs:
+                fn(self)
+        else:
+            cbs(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"
@@ -139,10 +182,13 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimError(f"negative timeout: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        super().__init__(sim, name="timeout")
         self.delay = delay
         self._value = value
         sim._schedule(delay, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout {self.delay:g} @{self.sim.now:.6f}>"
 
 
 class Simulator:
@@ -164,27 +210,54 @@ class Simulator:
     instrumentation stack-wide.  Both default to the shared null
     implementations, whose ``enabled`` attribute is False — hot paths
     guard on that one attribute check and otherwise pay nothing.
+
+    ``heap_pushes`` counts entries that actually hit the binary heap
+    (the wall-clock-expensive path); the perf harness reports it next to
+    ``events_dispatched`` to quantify how much traffic the zero-delay
+    lane absorbs.
     """
 
     def __init__(self, obs=None, tracer=None) -> None:
         from repro.obs import NULL_REGISTRY, NULL_TRACER
 
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list = []
+        self._fifo: deque = deque()
         self._seq = 0
         self._running = False
+        self.heap_pushes = 0
         self.obs = obs if obs is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: the Process currently executing (span causality tracks)
         self.current = None
         self._c_events = self.obs.counter("sim", "events_dispatched")
         self._c_wakeups = self.obs.counter("sim", "process_wakeups")
+        if self.obs.enabled:
+            self.obs.add_collector(
+                "sim", lambda: {"heap_pushes": self.heap_pushes}
+            )
 
     # -- scheduling ----------------------------------------------------
 
-    def _schedule(self, delay: float, event: Event) -> None:
+    def _schedule(self, delay: float, entry) -> None:
+        """Queue ``entry`` to fire ``delay`` seconds from now."""
+        if delay == 0.0:
+            self._seq += 1
+            entry._when = self.now
+            entry._seq = self._seq
+            self._fifo.append(entry)
+        else:
+            self._seq += 1
+            self.heap_pushes += 1
+            heapq.heappush(self._heap, (self.now + delay, self._seq, entry))
+
+    def _schedule_now(self, entry) -> None:
+        """Zero-delay lane: fire ``entry`` at the current instant, after
+        everything already queued for it.  O(1), no heap, no tuple."""
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        entry._when = self.now
+        entry._seq = self._seq
+        self._fifo.append(entry)
 
     def event(self, name: str = "") -> Event:
         """Create a fresh pending event."""
@@ -217,16 +290,36 @@ class Simulator:
     # -- execution -----------------------------------------------------
 
     def step(self) -> None:
-        """Process exactly one event."""
-        when, _seq, event = heapq.heappop(self._heap)
-        self.now = when
+        """Process exactly one entry — the smallest ``(time, seq)``
+        across the zero-delay lane and the heap."""
+        fifo = self._fifo
+        heap = self._heap
+        if fifo:
+            entry = fifo[0]
+            # The deque is sorted by construction, so its head is its
+            # minimum; fire whichever lane holds the global minimum.
+            if heap and (heap[0][0] < entry._when
+                         or (heap[0][0] == entry._when and heap[0][1] < entry._seq)):
+                self.now, _seq, entry = heapq.heappop(heap)
+            else:
+                fifo.popleft()
+                self.now = entry._when
+        else:
+            self.now, _seq, entry = heapq.heappop(heap)
         if self.obs.enabled:
             self._c_events.inc()
-        event._fire()
+        entry._fire()
 
     def peek(self) -> float:
-        """Time of the next event, or +inf if the queue is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next event, or +inf if the queue is empty.
+
+        Zero-delay entries always precede heap entries scheduled for a
+        later time, so the head of whichever lane holds the minimum wins.
+        """
+        t = self._fifo[0]._when if self._fifo else float("inf")
+        if self._heap and self._heap[0][0] < t:
+            t = self._heap[0][0]
+        return t
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until the queue drains or the deadline passes.
@@ -237,10 +330,11 @@ class Simulator:
         if self._running:
             raise SimError("run() is not reentrant")
         self._running = True
+        fifo, heap = self._fifo, self._heap
         try:
             n = 0
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            while fifo or heap:
+                if until is not None and self.peek() > until:
                     self.now = until
                     break
                 self.step()
@@ -267,7 +361,7 @@ class Simulator:
     def run_until_event(self, event: Event) -> Any:
         """Run until ``event`` has fired."""
         while not event._scheduled:
-            if not self._heap:
+            if not (self._fifo or self._heap):
                 raise SimError("event queue drained before target event fired (deadlock?)")
             self.step()
         if event.failed:

@@ -16,13 +16,20 @@ or fails with its uncaught exception.  Uncaught failures with no one
 joining are re-raised at the end of :func:`Simulator.run` would be ideal,
 but to keep the kernel small we instead surface them the first time
 anything joins the process, and :class:`ProcessDied` marks the condition.
+
+Scheduling is allocation-lean: a process is itself a valid queue entry
+(``_when``/``_seq``/``_fire``) *and* a valid event callback (it is
+callable), so the start kick and every floor-yield put the process
+straight on the simulator's zero-delay lane — no intermediate Timeout
+event — and waiting on an event stores the process object as the
+event's single callback instead of a fresh bound method.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.sim.core import Event, Interrupt, SimError, Simulator
+from repro.sim.core import Event, Interrupt, SimError, Simulator, _PENDING
 
 
 class ProcessDied(SimError):
@@ -33,7 +40,7 @@ class Process:
     """A cooperative process executing a generator on the virtual clock."""
 
     __slots__ = ("sim", "name", "generator", "completion", "_waiting_on",
-                 "_started", "trace_key")
+                 "_started", "trace_key", "_when", "_seq")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -49,8 +56,8 @@ class Process:
         self._waiting_on: Optional[Event] = None
         self._started = False
         # Start the process at the current instant, after pending events.
-        kick = sim.timeout(0.0)
-        kick.add_callback(self._resume)
+        # The process is its own queue entry: no kick Timeout needed.
+        sim._schedule_now(self)
 
     # -- status --------------------------------------------------------
 
@@ -75,18 +82,26 @@ class Process:
             ev.add_callback(lambda _e: self._throw(Interrupt(cause)))
             ev.succeed()
         else:
-            # Process is about to be resumed by a triggered event; queue
-            # the interrupt right behind it.
+            # Process is about to be resumed by a triggered event (or a
+            # queued floor-yield); queue the interrupt right behind it.
             self.sim.call_later(0.0, lambda: self._throw(Interrupt(cause)))
 
     # -- driving -------------------------------------------------------
 
+    def _fire(self) -> None:
+        """Queue-entry hook: a kick or floor-yield reached the front."""
+        self._resume(None)
+
+    def __call__(self, event: Event) -> None:
+        """Event-callback hook: the awaited event fired."""
+        self._resume(event)
+
     def _resume(self, event: Optional[Event]) -> None:
         """Advance the generator with the event's outcome."""
-        if not self.alive:
-            return
+        if self.completion._value is not _PENDING or self.completion._exc is not None:
+            return  # not alive
         # Ignore stale wakeups from events we were detached from (interrupt).
-        if self._started and event is not None and event is not self._waiting_on:
+        if event is not None and event is not self._waiting_on and self._started:
             return
         self._waiting_on = None
         self._started = True
@@ -102,11 +117,13 @@ class Process:
         if tracing:
             prev, sim.current = sim.current, self
         try:
-            if event is not None and event.failed:
-                target = self.generator.throw(event.exception)  # type: ignore[arg-type]
-            else:
-                value = event.value if (event is not None and event.triggered) else None
+            if event is None or event._exc is None:
+                value = event._value if event is not None else None
+                if value is _PENDING:
+                    value = None
                 target = self.generator.send(value)
+            else:
+                target = self.generator.throw(event._exc)
         except StopIteration as stop:
             self.completion.succeed(stop.value)
             return
@@ -116,7 +133,12 @@ class Process:
         finally:
             if tracing:
                 sim.current = prev
-        self._wait_for(target)
+        # Inline _wait_for's common case: most yields are events.
+        if isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(self)
+        else:
+            self._wait_for(target)
 
     def _throw(self, exc: BaseException) -> None:
         if not self.alive:
@@ -140,8 +162,10 @@ class Process:
 
     def _wait_for(self, target: Any) -> None:
         if target is None:
-            ev = self.sim.timeout(0.0)
-        elif isinstance(target, Process):
+            # Floor-yield: reschedule directly, no intermediate event.
+            self.sim._schedule_now(self)
+            return
+        if isinstance(target, Process):
             ev = target.completion
         elif isinstance(target, Event):
             ev = target
@@ -149,7 +173,7 @@ class Process:
             self._throw(TypeError(f"process {self.name!r} yielded {type(target).__name__}"))
             return
         self._waiting_on = ev
-        ev.add_callback(self._resume)
+        ev.add_callback(self)
 
     # -- joining -------------------------------------------------------
 

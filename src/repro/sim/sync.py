@@ -29,11 +29,12 @@ class Channel:
     all current and future gets fail with :class:`ChannelClosed`.
     """
 
-    __slots__ = ("sim", "name", "_items", "_getters", "_closed")
+    __slots__ = ("sim", "name", "_get_name", "_items", "_getters", "_closed")
 
     def __init__(self, sim: Simulator, name: str = "chan"):
         self.sim = sim
         self.name = name
+        self._get_name = f"get:{name}"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._closed = False
@@ -54,7 +55,7 @@ class Channel:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = self.sim.event(name=f"get:{self.name}")
+        ev = Event(self.sim, self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
         elif self._closed:
@@ -84,13 +85,16 @@ class ChannelClosed(SimError):
 class Store:
     """Bounded buffer with blocking put and get (FIFO fairness)."""
 
-    __slots__ = ("sim", "name", "capacity", "_items", "_getters", "_putters")
+    __slots__ = ("sim", "name", "_get_name", "_put_name", "capacity",
+                 "_items", "_getters", "_putters")
 
     def __init__(self, sim: Simulator, capacity: int, name: str = "store"):
         if capacity < 1:
             raise SimError("Store capacity must be >= 1")
         self.sim = sim
         self.name = name
+        self._get_name = f"get:{name}"
+        self._put_name = f"put:{name}"
         self.capacity = capacity
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
@@ -100,7 +104,7 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> Event:
-        ev = self.sim.event(name=f"put:{self.name}")
+        ev = Event(self.sim, self._put_name)
         if self._getters:
             self._getters.popleft().succeed(item)
             ev.succeed()
@@ -112,7 +116,7 @@ class Store:
         return ev
 
     def get(self) -> Event:
-        ev = self.sim.event(name=f"get:{self.name}")
+        ev = Event(self.sim, self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
             self._admit_putter()
@@ -143,13 +147,14 @@ class Semaphore:
             sem.release()
     """
 
-    __slots__ = ("sim", "name", "capacity", "_in_use", "_waiters")
+    __slots__ = ("sim", "name", "_acq_name", "capacity", "_in_use", "_waiters")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "sem"):
         if capacity < 1:
             raise SimError("Semaphore capacity must be >= 1")
         self.sim = sim
         self.name = name
+        self._acq_name = f"acq:{name}"
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
@@ -163,13 +168,25 @@ class Semaphore:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        ev = self.sim.event(name=f"acq:{self.name}")
+        ev = Event(self.sim, self._acq_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed()
         else:
             self._waiters.append(ev)
         return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire: take a free slot now, or return False.
+
+        Equivalent to an ``acquire()`` that would succeed immediately,
+        minus the event round trip — the network's callback-chained
+        delivery uses it on uncontended links.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
 
     def release(self) -> None:
         if self._in_use <= 0:
@@ -189,11 +206,12 @@ class Gate:
     proxy reconfiguration.
     """
 
-    __slots__ = ("sim", "name", "_open", "_waiters")
+    __slots__ = ("sim", "name", "_wait_name", "_open", "_waiters")
 
     def __init__(self, sim: Simulator, open: bool = True, name: str = "gate"):
         self.sim = sim
         self.name = name
+        self._wait_name = f"wait:{name}"
         self._open = open
         self._waiters: Deque[Event] = deque()
 
@@ -202,7 +220,7 @@ class Gate:
         return self._open
 
     def wait(self) -> Event:
-        ev = self.sim.event(name=f"wait:{self.name}")
+        ev = Event(self.sim, self._wait_name)
         if self._open:
             ev.succeed()
         else:

@@ -1,0 +1,42 @@
+"""Capture golden virtual-runtime values for every setup builder.
+
+Run this against a known-good tree to (re)generate the golden table
+embedded in ``tests/test_golden_runtimes.py``.  The fast-path refactor
+must reproduce these numbers byte-identically.
+
+    PYTHONPATH=src python tests/_capture_goldens.py
+"""
+
+import hashlib
+import json
+
+from repro.core.setups import SETUP_BUILDERS
+from repro.harness import run_iozone
+
+FILE_SIZE = 256 * 1024
+CACHE_BYTES = 128 * 1024
+
+
+def capture():
+    out = {}
+    for setup in sorted(SETUP_BUILDERS):
+        for label, rtt in (("lan", 0.0), ("wan", 0.080)):
+            r = run_iozone(setup, rtt=rtt, file_size=FILE_SIZE,
+                           setup_kwargs={"cache_bytes": CACHE_BYTES},
+                           telemetry=True)
+            # Everything except the sim kernel's own dispatch counters,
+            # which intentionally change with the dispatch strategy.
+            stats = {k: v for k, v in r.stats.items() if k != "sim"}
+            snap = hashlib.sha256(
+                json.dumps(stats, sort_keys=True, default=repr).encode()
+            ).hexdigest()
+            out[f"{label}-{setup}"] = {
+                "total": r.total.hex(),
+                "writeback": r.writeback_seconds.hex(),
+                "snapshot_sha256": snap,
+            }
+    return out
+
+
+if __name__ == "__main__":
+    print(json.dumps(capture(), indent=2, sort_keys=True))

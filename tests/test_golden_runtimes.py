@@ -1,0 +1,127 @@
+"""Golden virtual-runtime regression tests for every setup builder.
+
+The event-kernel fast path (zero-delay lane, callback-chained packet
+delivery) reorganises *how* events are dispatched but must not change
+*what* happens: virtual-time results and telemetry snapshots are
+required to be byte-identical to the single-heap kernel.  These goldens
+were captured from the pre-fast-path tree with
+``tests/_capture_goldens.py`` and pin:
+
+- ``total`` / ``writeback`` virtual seconds as exact float bit patterns
+  (``float.hex()`` — no tolerance),
+- a sha256 over the full :class:`repro.obs.Registry` snapshot,
+  **excluding** the ``sim`` component: the kernel's own dispatch
+  counters (``events_dispatched``, ``heap_pushes``, ``process_wakeups``)
+  are the quantity the fast path exists to reduce, and are tracked by
+  ``benchmarks/perf_wallclock.py`` instead.
+
+If one of these fails after a scheduler change, the change altered
+event *ordering*, not just dispatch cost — that is a correctness bug.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.setups import SETUP_BUILDERS
+from repro.harness import run_iozone, run_mab, run_postmark
+from repro.workloads.postmark import PostMarkConfig
+
+FILE_SIZE = 256 * 1024
+CACHE_BYTES = 128 * 1024
+WAN_RTT = 0.080
+
+#: label -> (total.hex(), writeback.hex(), snapshot sha256 sans "sim").
+GOLDEN = {
+    "lan-gfs": ("0x1.587f0540471d1p-5", "0x0.0p+0",
+                "b68b266ebd7e2b274db27dcb7b92a394f478e66a093ec6656962106096eaef06"),
+    "lan-gfs-ssh": ("0x1.ebf6972ae74dap-3", "0x0.0p+0",
+                    "80d13afb5709ffa7acf33c92996395f8f02a8c082d9dc8c243d4f562884bb115"),
+    "lan-nfs-v3": ("0x1.3b3084cf7f7c0p-6", "0x0.0p+0",
+                   "72020243c19f6c9c3585bd61a12e1b9074a36ae4e827d95915b6fe70bb9fcb48"),
+    "lan-nfs-v4": ("0x1.767a1650648d6p-6", "0x0.0p+0",
+                   "bbe3c87782d8109a1c18c5574da9e6b28a904b3bd977e91e8a2134c912123a05"),
+    "lan-sfs": ("0x1.d0d9137b33b14p-5", "0x0.0p+0",
+                "b3b03ca2724df9c42ca13d87ffba83608b2a84d525129b22d2932fcd615468a7"),
+    "lan-sgfs": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
+                 "78f3e823bbbd9c08139e4f4f272793159e8bab1dd7cc24d439d51a0477c59dea"),
+    "lan-sgfs-aes": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
+                     "78f3e823bbbd9c08139e4f4f272793159e8bab1dd7cc24d439d51a0477c59dea"),
+    "lan-sgfs-rc": ("0x1.85f7038585342p-5", "0x0.0p+0",
+                    "6442ed7d535d19b4e3957632e4b9c9ad9b7c3ce4f866e190efd3879dc31fe8f7"),
+    "lan-sgfs-sha": ("0x1.73028e2835f84p-5", "0x0.0p+0",
+                     "b2b33710eb9cbef5492471290fe36db8b5ad5f32e70aeffe8f9591093e2fa2be"),
+    "wan-gfs": ("0x1.a45d91c39bd36p+0", "0x0.0p+0",
+                "dda382503bc66b092a60170f35891db47e4691a701a9aaabedbc86267737a4f6"),
+    "wan-gfs-ssh": ("0x1.000717872956ep+1", "0x0.0p+0",
+                    "1591593ed358eb6836f947b7ed9aafb8b1a9f67a7cc99778c66da25fe1d1f928"),
+    "wan-nfs-v3": ("0x1.f417d00c6496ap-1", "0x0.0p+0",
+                   "7ecc6b4069b98453098a581cbf8fa7f641ef5c6151799f2db66dc5ec4ddc84b0"),
+    "wan-nfs-v4": ("0x1.f5fde87e88beep-1", "0x0.0p+0",
+                   "675730d2743b4ed99a98ffb9f22dce74017e87c3a4ec4e8447b2ebae339affb8"),
+    "wan-sfs": ("0x1.044957f80294ap+0", "0x0.0p+0",
+                "950cb9a92e775d5ee90a18a4d9f42295d68b33b18bccba62da0bd3bd7a432a91"),
+    "wan-sgfs": ("0x1.a9162ab729484p+0", "0x0.0p+0",
+                 "845e51e9728e30f2773b41e44ed3889c988f232555ffe500bf2f3efa9be55dbb"),
+    "wan-sgfs-aes": ("0x1.a9162ab729484p+0", "0x0.0p+0",
+                     "845e51e9728e30f2773b41e44ed3889c988f232555ffe500bf2f3efa9be55dbb"),
+    "wan-sgfs-rc": ("0x1.a5c951b5c5c52p+0", "0x0.0p+0",
+                    "1302287a3f4273ee44ddb06542874e9778746c5abd0fe1664c06389603eb295c"),
+    "wan-sgfs-sha": ("0x1.a531ae0adb48cp+0", "0x0.0p+0",
+                     "a032d2ce17f33be0d39883835ebfcf537cc8afb04ef4d9d01f91ce687d077949"),
+}
+
+
+def _snapshot_sha256(result) -> str:
+    stats = {k: v for k, v in result.stats.items() if k != "sim"}
+    return hashlib.sha256(
+        json.dumps(stats, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+def test_golden_table_covers_every_setup():
+    expected = {f"{env}-{s}" for s in SETUP_BUILDERS for env in ("lan", "wan")}
+    assert set(GOLDEN) == expected
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN))
+def test_iozone_golden_runtime(label):
+    env, _, setup = label.partition("-")
+    rtt = WAN_RTT if env == "wan" else 0.0
+    r = run_iozone(setup, rtt=rtt, file_size=FILE_SIZE,
+                   setup_kwargs={"cache_bytes": CACHE_BYTES}, telemetry=True)
+    total_hex, writeback_hex, snap = GOLDEN[label]
+    assert r.total == float.fromhex(total_hex), (
+        f"{label}: virtual runtime drifted: {r.total.hex()} != {total_hex}")
+    assert r.writeback_seconds == float.fromhex(writeback_hex)
+    assert _snapshot_sha256(r) == snap, (
+        f"{label}: telemetry snapshot (sans 'sim') changed")
+
+
+def test_golden_trace_export_identical():
+    """The Chrome-trace export is part of the determinism contract: the
+    span stream must not move when dispatch internals change."""
+    r = run_iozone("sgfs", rtt=0.0, file_size=512 * 1024,
+                   setup_kwargs={"cache_bytes": 256 * 1024, "disk_cache": True},
+                   telemetry=True, tracing=True)
+    assert r.total == float.fromhex("0x1.b697846f8c496p-4")
+    trace_sha = hashlib.sha256(r.trace_json().encode()).hexdigest()
+    assert trace_sha == ("882113c25629abe180f702b15a52a2fd2"
+                         "fa5e231d828defefc810edbb817142b")
+
+
+def test_golden_postmark_wan_cache():
+    cfg = PostMarkConfig(directories=5, files=25, transactions=50)
+    r = run_postmark("sgfs", rtt=0.040, config=cfg,
+                     setup_kwargs={"disk_cache": True})
+    assert r.total == float.fromhex("0x1.0badf8e1baf9fp+3")
+    assert r.writeback_seconds == float.fromhex("0x0.0p+0")
+
+
+def test_golden_mab_gfs_ssh():
+    r = run_mab("gfs-ssh", rtt=0.020)
+    assert r.total == float.fromhex("0x1.520ee11d04967p+8")
+    assert r.writeback_seconds == float.fromhex("0x0.0p+0")
