@@ -31,6 +31,7 @@ from typing import List, Optional
 from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.core.setups import SETUP_BUILDERS
 from repro.crypto.suites import SUITES
+from repro.faults import FAULT_PRESETS
 from repro.harness import run_iozone, run_mab, run_postmark, run_seismic
 from repro.harness.presets import WAN_RTT, resolve_preset  # noqa: F401 (re-export)
 
@@ -63,6 +64,12 @@ def _parser() -> argparse.ArgumentParser:
                        help="enable the proxy disk cache (proxied setups)")
     run_p.add_argument("--cpu", action="store_true",
                        help="also print proxy/daemon CPU utilization")
+    run_p.add_argument("--faults", choices=sorted(FAULT_PRESETS), default=None,
+                       help="run under a deterministic adversarial network "
+                            "(packet loss, duplication, flaps, crashes)")
+    run_p.add_argument("--fault-seed", default="faults",
+                       help="seed for the fault schedule; same seed => "
+                            "identical drop schedule (default: 'faults')")
 
     fig_p = sub.add_parser("figure", help="regenerate a figure of the paper")
     fig_p.add_argument("name", choices=FIGURES)
@@ -113,6 +120,7 @@ def _cmd_list(out) -> int:
     print("suites: ", ", ".join(sorted(SUITES)), file=out)
     print("workloads: ", ", ".join(sorted(WORKLOAD_RUNNERS)), file=out)
     print("figures: ", ", ".join(FIGURES), file=out)
+    print("fault presets: ", ", ".join(sorted(FAULT_PRESETS)), file=out)
     return 0
 
 
@@ -139,9 +147,16 @@ def _cmd_run(args, out) -> int:
             print("error: --disk-cache applies only to proxied setups", file=out)
             return 2
         kwargs["disk_cache"] = True
-    result = runner(args.setup, rtt=args.rtt_ms / 1000.0, setup_kwargs=kwargs or None)
+    result = runner(args.setup, rtt=args.rtt_ms / 1000.0, setup_kwargs=kwargs or None,
+                    faults=args.faults, fault_seed=args.fault_seed)
     rtt_label = "LAN" if args.rtt_ms == 0 else f"{args.rtt_ms:g}ms RTT"
     print(f"{args.workload} on {args.setup} ({rtt_label})", file=out)
+    if args.faults:
+        fstats = result.stats.get("faults", {})
+        shown = {k: v for k, v in fstats.items() if v}
+        print(f"  faults[{args.faults}]: "
+              + (", ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+                 or "no packets perturbed"), file=out)
     for phase, seconds in result.phases.items():
         print(f"  {phase:12s} {seconds:10.3f}s", file=out)
     if result.writeback_seconds:

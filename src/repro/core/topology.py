@@ -52,6 +52,8 @@ class Testbed:
     #: The null singletons when the testbed was built without telemetry.
     obs: "Registry" = NULL_REGISTRY
     tracer: "SpanTracer" = NULL_TRACER
+    #: the kernel NFS server's listener, kept so crash injection can close it
+    nfs_listener: object = None
     _port_alloc: "itertools.count" = field(default_factory=lambda: itertools.count(20000))
 
     @classmethod
@@ -112,7 +114,8 @@ class Testbed:
             NfsV4ServerProgram(sim, fs, server_disk,
                                compound_overhead=cal.v4_compound_overhead)
         )
-        nfs_rpc_server.serve_listener(server.listen(NFS_PORT))
+        nfs_listener = server.listen(NFS_PORT)
+        nfs_rpc_server.serve_listener(nfs_listener)
 
         server_accounts = AccountsDb()
         server_accounts.add(Account(export_owner, export_uid, export_uid))
@@ -123,7 +126,7 @@ class Testbed:
             fs=fs, server_disk=server_disk, nfs_program=nfs_program,
             nfs_rpc_server=nfs_rpc_server,
             server_accounts=server_accounts, client_accounts=client_accounts,
-            cal=cal, obs=sim.obs, tracer=sim.tracer,
+            cal=cal, obs=sim.obs, tracer=sim.tracer, nfs_listener=nfs_listener,
         )
 
     # -- conveniences ------------------------------------------------------------
@@ -138,6 +141,21 @@ class Testbed:
     @property
     def measured_rtt(self) -> float:
         return self.net.rtt("client", "server")
+
+    def crash_nfs_server(self) -> None:
+        """Crash injection: the kernel NFS server stops listening and
+        severs all connections.  Its DRC survives, modeling the stable
+        reply cache of a restarting nfsd."""
+        if self.nfs_listener is not None:
+            self.nfs_listener.close()
+            self.nfs_listener = None
+        self.nfs_rpc_server.disconnect_all()
+
+    def restart_nfs_server(self) -> None:
+        """Come back up after :meth:`crash_nfs_server`."""
+        if self.nfs_listener is None:
+            self.nfs_listener = self.server.listen(NFS_PORT)
+            self.nfs_rpc_server.serve_listener(self.nfs_listener)
 
     def run(self, generator, name: str = "workload"):
         """Spawn a process and run the simulation until it completes."""

@@ -1,0 +1,18 @@
+"""Deterministic fault injection for the simulated network.
+
+See :mod:`repro.faults.plan` for the packet-level adversary and
+:mod:`repro.faults.presets` for the named scenarios the harness/CLI
+expose as ``--faults``.
+"""
+
+from repro.faults.plan import CrashEvent, FaultPlan, FaultSpec, LinkFlap
+from repro.faults.presets import FAULT_PRESETS, resolve_fault_preset
+
+__all__ = [
+    "CrashEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "LinkFlap",
+    "FAULT_PRESETS",
+    "resolve_fault_preset",
+]

@@ -1,0 +1,224 @@
+"""Deterministic packet-level fault injection.
+
+A :class:`FaultPlan` is the network's adversary: installed on a
+:class:`repro.net.network.Network`, it is consulted once per packet and
+rules it dropped, corrupted, duplicated, delayed, or passed.  All
+randomness comes from :class:`repro.crypto.drbg.Drbg` streams forked
+from one seed, and draws happen in virtual-time event order, so the
+same ``(topology, workload, seed)`` triple always produces the same
+drop schedule — faulty runs replay bit-for-bit.
+
+Determinism rules:
+
+- exactly **one** uniform draw per packet when any probabilistic fault
+  is enabled (the draw is partitioned into drop/corrupt/duplicate/delay
+  bands); zero draws when all rates are 0, so flap-only or crash-only
+  plans perturb nothing else;
+- link **flaps** are pure virtual-time window checks (no entropy);
+- **crash/restart** events fire at fixed virtual times via the plan's
+  scheduler;
+- corruption bytes and delay jitter come from independently forked
+  streams so enabling one fault class never shifts another's sequence.
+
+Loopback traffic (single-node paths) is exempt: faults model the WAN,
+not the host's own kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.drbg import Drbg
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """A window of total loss on every path, [start, start + duration)."""
+
+    start: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Take ``target`` down at virtual time ``at`` for ``down_for`` seconds.
+
+    ``target`` names a crash/restart handler pair registered with
+    :meth:`FaultPlan.schedule` — e.g. ``"server"`` or ``"server-proxy"``.
+    """
+
+    at: float
+    target: str
+    down_for: float
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The static description of an adversarial network."""
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: extra one-way delay drawn uniformly from [delay_min, delay_max)
+    delay_min: float = 0.005
+    delay_max: float = 0.05
+    #: modeled sender RTO for lost reliable-transport segments
+    rto_base: float = 0.2
+    rto_max: float = 2.0
+    #: explicit loss windows, plus an optional periodic generator
+    flaps: Tuple[LinkFlap, ...] = ()
+    flap_period: float = 0.0
+    flap_duration: float = 0.0
+    flap_count: int = 0
+    #: scheduled process crash/restart events
+    crashes: Tuple[CrashEvent, ...] = ()
+    #: reply timeouts the harness applies to the NFS client and the
+    #: client proxy's upstream forwarding when this spec is active
+    client_timeo: Optional[float] = None
+    proxy_timeo: Optional[float] = None
+
+    def all_flaps(self) -> Tuple[LinkFlap, ...]:
+        flaps = list(self.flaps)
+        for i in range(self.flap_count):
+            flaps.append(
+                LinkFlap(start=(i + 1) * self.flap_period, duration=self.flap_duration)
+            )
+        return tuple(sorted(flaps, key=lambda f: f.start))
+
+    @property
+    def total_rate(self) -> float:
+        return (
+            self.drop_rate + self.corrupt_rate + self.duplicate_rate + self.delay_rate
+        )
+
+
+class FaultPlan:
+    """A seeded, installable instance of a :class:`FaultSpec`."""
+
+    def __init__(self, sim, spec: FaultSpec, seed="faults"):
+        if spec.total_rate >= 1.0:
+            raise ValueError("fault rates must sum to < 1")
+        self.sim = sim
+        self.spec = spec
+        root = Drbg(seed) if not isinstance(seed, Drbg) else seed
+        self._rng = root.fork("packets")
+        self._corrupt_rng = root.fork("corrupt")
+        self._flaps = spec.all_flaps()
+        self._net = None
+        self.stats: Dict[str, int] = {
+            "packets": 0,
+            "dropped": 0,
+            "corrupted": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "retransmits": 0,
+            "flap_drops": 0,
+            "crashes": 0,
+        }
+        self._counters: Dict[str, object] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self, net) -> "FaultPlan":
+        net.fault_plan = self
+        self._net = net
+        return self
+
+    def uninstall(self) -> None:
+        if self._net is not None and self._net.fault_plan is self:
+            self._net.fault_plan = None
+        self._net = None
+
+    def schedule(self, handlers: Dict[str, Tuple]) -> None:
+        """Spawn crash/restart processes for this plan's CrashEvents.
+
+        ``handlers`` maps target name -> ``(crash_fn, restart_fn)``;
+        events naming an unregistered target are skipped.
+        """
+        for ev in self.spec.crashes:
+            pair = handlers.get(ev.target)
+            if pair is None:
+                continue
+            crash_fn, restart_fn = pair
+            self.sim.spawn(
+                self._crash_proc(ev, crash_fn, restart_fn),
+                name=f"fault-crash:{ev.target}",
+            )
+
+    def _crash_proc(self, ev: CrashEvent, crash_fn, restart_fn):
+        yield self.sim.timeout(ev.at)
+        self._count("crashes")
+        crash_fn()
+        yield self.sim.timeout(ev.down_for)
+        restart_fn()
+
+    # -- per-packet decision ---------------------------------------------
+
+    def verdict(self, path, nbytes: int, kind: str) -> Tuple[str, float]:
+        """Classify one packet: (verdict, extra_delay).
+
+        Verdicts: ``"pass"``, ``"drop"``, ``"corrupt"``, ``"duplicate"``,
+        ``"delay"`` (extra_delay > 0 only for delay).
+        """
+        self.stats["packets"] += 1
+        now = self.sim.now
+        for flap in self._flaps:
+            if flap.start <= now < flap.start + flap.duration:
+                self._count("flap_drops")
+                return ("drop", 0.0)
+            if now < flap.start:
+                break
+        spec = self.spec
+        if spec.total_rate == 0.0:
+            return ("pass", 0.0)
+        u = self._rng.random()
+        edge = spec.drop_rate
+        if u < edge:
+            self._count("dropped")
+            return ("drop", 0.0)
+        edge += spec.corrupt_rate
+        if u < edge:
+            self._count("corrupted")
+            return ("corrupt", 0.0)
+        edge += spec.duplicate_rate
+        if u < edge:
+            self._count("duplicated")
+            return ("duplicate", 0.0)
+        edge += spec.delay_rate
+        if u < edge:
+            self._count("delayed")
+            extra = spec.delay_min + self._rng.random() * (
+                spec.delay_max - spec.delay_min
+            )
+            return ("delay", extra)
+        return ("pass", 0.0)
+
+    def rto(self, attempt: int) -> float:
+        """Modeled sender retransmission timeout, doubling per attempt."""
+        return min(self.spec.rto_max, self.spec.rto_base * (2.0 ** attempt))
+
+    def note_retransmit(self) -> None:
+        self._count("retransmits")
+
+    def corrupt_payload(self, payload: bytes) -> bytes:
+        """Flip one byte at a deterministic position."""
+        if not payload:
+            return payload
+        pos = self._corrupt_rng.randrange(0, len(payload))
+        flip = self._corrupt_rng.randrange(1, 256)
+        out = bytearray(payload)
+        out[pos] ^= flip
+        return bytes(out)
+
+    # -- accounting ------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        self.stats[name] += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = obs.counter("faults", name)
+            c.inc()

@@ -1,0 +1,101 @@
+"""Named adversarial-network presets for the harness and CLI.
+
+Each preset is a :class:`~repro.faults.plan.FaultSpec`.  The rates are
+per-packet.  The timer values are the classic ones: ``client_timeo`` /
+``proxy_timeo`` of 0.7 s is the traditional NFS ``timeo`` default, and
+``rto_base`` of 1.0 s is the RFC 6298 initial sender RTO.  Because the
+reply timer is *shorter* than the stream RTO, a dropped request triggers
+a same-xid retransmission before the modeled TCP redelivery brings the
+original copy in — the server then sees the call twice and the
+duplicate-request cache must absorb the second copy (park while the
+first executes, replay after), which is exactly the correctness property
+these presets exist to exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.faults.plan import CrashEvent, FaultSpec, LinkFlap
+
+FAULT_PRESETS = {
+    # 5% loss: the acceptance scenario — lossy but live WAN.
+    "lossy-wan": FaultSpec(
+        drop_rate=0.05,
+        client_timeo=0.7,
+        proxy_timeo=0.7,
+        rto_base=1.0,
+        rto_max=4.0,
+    ),
+    # heavy reordering pressure: delays + a little duplication
+    "jittery-wan": FaultSpec(
+        delay_rate=0.20,
+        delay_min=0.005,
+        delay_max=0.08,
+        duplicate_rate=0.02,
+        client_timeo=0.7,
+        proxy_timeo=0.7,
+        rto_base=1.0,
+        rto_max=4.0,
+    ),
+    # duplication-dominant: exercises DRC replay and stream dedup
+    "dup-wan": FaultSpec(
+        duplicate_rate=0.10,
+        drop_rate=0.01,
+        client_timeo=0.7,
+        proxy_timeo=0.7,
+        rto_base=1.0,
+        rto_max=4.0,
+    ),
+    # periodic total-loss windows (route flaps)
+    "flaky-wan": FaultSpec(
+        drop_rate=0.01,
+        flap_period=5.0,
+        flap_duration=0.5,
+        flap_count=20,
+        client_timeo=0.7,
+        proxy_timeo=0.7,
+        rto_base=1.0,
+        rto_max=4.0,
+    ),
+    # everything at once, plus corruption
+    "chaos-wan": FaultSpec(
+        drop_rate=0.03,
+        corrupt_rate=0.01,
+        duplicate_rate=0.02,
+        delay_rate=0.05,
+        flaps=(LinkFlap(start=10.0, duration=0.5),),
+        client_timeo=0.7,
+        proxy_timeo=0.7,
+        rto_base=1.0,
+        rto_max=4.0,
+    ),
+    # clean network, but the SGFS server proxy dies and comes back
+    "proxy-restart": FaultSpec(
+        crashes=(CrashEvent(at=5.0, target="server-proxy", down_for=2.0),),
+        client_timeo=0.7,
+        proxy_timeo=0.7,
+        rto_base=1.0,
+        rto_max=4.0,
+    ),
+    # clean network, but the NFS server itself restarts
+    "server-restart": FaultSpec(
+        crashes=(CrashEvent(at=5.0, target="server", down_for=2.0),),
+        client_timeo=0.7,
+        proxy_timeo=0.7,
+        rto_base=1.0,
+        rto_max=4.0,
+    ),
+}
+
+
+def resolve_fault_preset(spec: Union[str, FaultSpec, None]):
+    """Accept a preset name, a FaultSpec, or None (pass through)."""
+    if spec is None or isinstance(spec, FaultSpec):
+        return spec
+    try:
+        return FAULT_PRESETS[spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault preset {spec!r} (have: {', '.join(sorted(FAULT_PRESETS))})"
+        ) from None

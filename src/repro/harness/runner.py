@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.setups import SETUP_BUILDERS, Mount
 from repro.core.topology import Testbed
+from repro.faults import FaultPlan, resolve_fault_preset
 from repro.harness.presets import resolve_preset
 from repro.workloads.iozone import IOzoneReadReread
 from repro.workloads.mab import ModifiedAndrewBenchmark
@@ -79,6 +80,8 @@ def run_workload(
     cpu_window: float = 5.0,
     telemetry: bool = True,
     tracing: bool = False,
+    faults=None,
+    fault_seed: str = "faults",
 ) -> ExperimentResult:
     """Build testbed + mount + run one workload; return the result.
 
@@ -86,6 +89,12 @@ def run_workload(
     cross-layer metrics registry; ``tracing`` additionally records
     causal spans (``result.tracer`` / ``result.trace_json()``).
     Neither affects virtual-time results.
+
+    ``faults`` turns the network adversarial: a preset name from
+    :data:`repro.faults.FAULT_PRESETS` (e.g. ``"lossy-wan"``) or a
+    :class:`repro.faults.FaultSpec`.  The schedule is fully determined
+    by ``fault_seed``, so same-seed runs are byte-identical.  The plan's
+    packet statistics land in ``result.stats["faults"]``.
     """
     if setup not in SETUP_BUILDERS:
         # Accept the CLI's preset dialect too (lan-/wan- prefix, -cache
@@ -111,11 +120,31 @@ def run_workload(
         workload.prepare(tb)
     mount: Mount = SETUP_BUILDERS[setup](tb, **(setup_kwargs or {}))
 
+    plan = None
+    fault_spec = resolve_fault_preset(faults)
+    if fault_spec is not None:
+        plan = FaultPlan(tb.sim, fault_spec, seed=fault_seed)
+        plan.install(tb.net)
+        handlers = {"server": (tb.crash_nfs_server, tb.restart_nfs_server)}
+        sp = mount.server_proxy
+        if sp is not None and hasattr(sp, "crash"):
+            handlers["server-proxy"] = (sp.crash, sp.restart)
+        plan.schedule(handlers)
+        # give the retransmission timers teeth: silent loss must trigger
+        # same-xid retries rather than waiting on the stream RTO chain
+        if fault_spec.client_timeo is not None and hasattr(mount.client, "timeo"):
+            mount.client.timeo = fault_spec.client_timeo
+        if fault_spec.proxy_timeo is not None and mount.client_proxy is not None \
+                and hasattr(mount.client_proxy, "upstream_timeo"):
+            mount.client_proxy.upstream_timeo = fault_spec.proxy_timeo
+
     t0 = tb.sim.now
     tb.run(workload.run(mount), name=f"{setup}-workload")
     total = tb.sim.now - t0
     wb_seconds, _wb_blocks, wb_bytes = tb.run(mount.finish(), name="finish")
     t_end = tb.sim.now
+    if plan is not None:
+        plan.uninstall()
 
     result = ExperimentResult(
         setup=setup,
@@ -135,6 +164,8 @@ def run_workload(
     # The registry snapshot is the canonical stats export; the legacy
     # top-level aliases stay for callers that predate repro.obs.
     result.stats.update(tb.obs.snapshot())
+    if plan is not None:
+        result.stats["faults"] = dict(plan.stats)
     result.stats["nfs_client"] = mount.client.cache_stats()
     if mount.client_proxy is not None and hasattr(mount.client_proxy, "stats"):
         cp_stats = mount.client_proxy.stats

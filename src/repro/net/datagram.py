@@ -76,7 +76,9 @@ class DatagramEndpoint:
         self.datagrams_sent += 1
         src = (self.host.name, self.port)
 
-        def arrive() -> None:
+        def arrive(data: bytes) -> None:
+            # ``data`` may differ from the sent payload if fault
+            # injection corrupted the packet in flight.
             target = network.nodes[dest_host]
             endpoint = getattr(target, "_udp_ports", {}).get(dest_port)
             if endpoint is None or endpoint.closed:
@@ -84,10 +86,15 @@ class DatagramEndpoint:
             if endpoint.drop_policy is not None and endpoint.drop_policy.should_drop():
                 return
             endpoint.datagrams_received += 1
-            endpoint._rx.put((src, payload))
+            endpoint._rx.put((src, data))
 
         network.deliver(
-            self.host.name, dest_host, len(payload) + DATAGRAM_OVERHEAD, arrive
+            self.host.name,
+            dest_host,
+            len(payload) + DATAGRAM_OVERHEAD,
+            kind="dgram",
+            payload=payload,
+            on_payload=arrive,
         )
 
     def recvfrom(self):

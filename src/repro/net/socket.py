@@ -10,7 +10,13 @@ Semantics implemented (the subset the RPC stack needs, faithfully):
 - abortive teardown surfaces :class:`ConnectionReset` to blocked readers.
 
 Segments of one connection traverse the same route through FIFO link
-queues, so ordering needs no sequence numbers.
+queues, so on a fault-free network they arrive in order.  Each segment
+nevertheless carries a sequence number: when a :class:`FaultPlan
+<repro.faults.FaultPlan>` is installed, segments can be dropped (then
+redelivered after an RTO, arriving late), delayed, or duplicated, and
+the receiver reassembles the stream — buffering out-of-order arrivals,
+discarding duplicates — so the byte stream stays exact under loss.
+The FIN is sequenced too, so EOF cannot overtake in-flight data.
 """
 
 from __future__ import annotations
@@ -41,6 +47,9 @@ class SimSocket:
         self.closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._tx_seq = 0  # next sequence number to send
+        self._rx_next = 0  # next sequence number expected from peer
+        self._rx_ooo: dict = {}  # out-of-order segments awaiting reassembly
 
     # -- sending -------------------------------------------------------
 
@@ -59,16 +68,31 @@ class SimSocket:
             return
         self.bytes_sent += len(payload)
         peer = self._require_peer()
+        seq = self._tx_seq
+        self._tx_seq += 1
         self.host.network.deliver(
             self.host.name,
             self.peer_host_name,
             len(payload) + SEGMENT_OVERHEAD,
-            lambda: peer._on_segment(payload),
+            lambda: peer._on_segment(seq, payload),
+            kind="stream",
         )
 
-    def _on_segment(self, payload: bytes) -> None:
+    def _on_segment(self, seq: int, payload) -> None:
         if self.closed:
             return  # segment raced with local close: drop it
+        if seq < self._rx_next or seq in self._rx_ooo:
+            return  # duplicate (fault-injected copy or RTO redelivery)
+        if seq != self._rx_next:
+            self._rx_ooo[seq] = payload  # arrived early; hold for reassembly
+            return
+        self._deliver(payload)
+        self._rx_next += 1
+        while self._rx_next in self._rx_ooo:
+            self._deliver(self._rx_ooo.pop(self._rx_next))
+            self._rx_next += 1
+
+    def _deliver(self, payload) -> None:
         self._rx.put(payload)
 
     # -- receiving -----------------------------------------------------
@@ -123,16 +147,15 @@ class SimSocket:
         self.closed = True
         peer = self.peer
         if peer is not None and not peer.closed:
+            seq = self._tx_seq
+            self._tx_seq += 1
             self.host.network.deliver(
                 self.host.name,
                 self.peer_host_name,
                 SEGMENT_OVERHEAD,
-                lambda: peer._on_fin(),
+                lambda: peer._on_segment(seq, _FIN),
+                kind="stream",
             )
-
-    def _on_fin(self) -> None:
-        if not self.closed:
-            self._rx.put(_FIN)
 
     def abort(self) -> None:
         """Abortive close: blocked/future reads on the peer raise reset."""

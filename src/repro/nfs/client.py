@@ -92,16 +92,30 @@ class NfsClient:
         reconnect=None,
         retrans_max: int = 5,
         retrans_backoff: float = 1.1,
+        retrans_base: float = 1.0,
+        retrans_cap: float = 30.0,
+        timeo: Optional[float] = None,
+        timeo_retrans: int = 3,
     ):
         """``reconnect`` (optional) is a process generator returning a
         fresh RpcClient; when set, transport failures are retried after
         reconnecting — NFS *hard mount* semantics.  Without it, a dead
-        connection fails the operation (soft mount)."""
+        connection fails the operation (soft mount).
+
+        ``timeo`` (optional) is a reply timeout in virtual seconds: when
+        set, an in-flight request is retransmitted with the same xid up
+        to ``timeo_retrans`` times on a doubling timer before the
+        transport is declared dead — the defence against silent packet
+        loss, where the connection never visibly breaks."""
         self.sim = sim
         self.rpc = rpc
         self.reconnect = reconnect
         self.retrans_max = retrans_max
         self.retrans_backoff = retrans_backoff
+        self.retrans_base = retrans_base
+        self.retrans_cap = retrans_cap
+        self.timeo = timeo
+        self.timeo_retrans = timeo_retrans
         self.retransmissions = 0
         self.obs = sim.obs
         self.tracer = sim.tracer
@@ -149,25 +163,51 @@ class NfsClient:
     def _call(self, proc: Proc, args: bytes):
         attempt = 0
         start = self.sim.now
+        name = proc.name if isinstance(proc, Proc) else str(proc)
+        # One xid for the whole operation, across retransmissions and
+        # reconnects: the server's duplicate-request cache (repro.rpc.drc)
+        # keys on it, so a retransmitted non-idempotent procedure
+        # (REMOVE/RENAME/MKDIR/exclusive CREATE) replays the original
+        # reply instead of re-executing.
+        xid = RpcClient.next_xid()
         while True:
             try:
-                res = yield from self.rpc.call(int(proc), args, self.cred.to_opaque())
+                res = yield from self.rpc.call(
+                    int(proc),
+                    args,
+                    self.cred.to_opaque(),
+                    xid=xid,
+                    timeout=self.timeo,
+                    retrans=self.timeo_retrans,
+                )
                 break
-            except RpcTransportError:
-                # Hard-mount behavior: reconnect and retransmit.  NFSv3
-                # operations are idempotent or protected by the server's
-                # reply semantics, so blind retransmission is what real
-                # clients do.
-                if self.reconnect is None or attempt >= self.retrans_max:
+            except RpcTransportError as exc:
+                if self.reconnect is None:
+                    # Soft mount: surface a filesystem-level error naming
+                    # the procedure, like errno=EIO from a kernel mount.
+                    raise NfsClientError(
+                        Status.IO, f"{name} failed on soft mount: {exc}"
+                    ) from exc
+                if attempt >= self.retrans_max:
                     raise
                 attempt += 1
                 self.retransmissions += 1
                 if self.obs.enabled:
                     self.obs.counter("nfs.client", "retransmissions").inc()
-                yield self.sim.timeout(self.retrans_backoff * attempt)
-                self.rpc = yield from self.reconnect()
+                yield self.sim.timeout(
+                    min(
+                        self.retrans_cap,
+                        self.retrans_base * self.retrans_backoff ** attempt,
+                    )
+                )
+                try:
+                    self.rpc = yield from self.reconnect()
+                except Exception:
+                    # Server still down (connection refused): the next
+                    # call on the dead client fails fast and we retry
+                    # within the same attempt budget.
+                    continue
         if self.obs.enabled or self.rpc_listeners:
-            name = proc.name if isinstance(proc, Proc) else str(proc)
             latency = self.sim.now - start
             if self.obs.enabled:
                 self.obs.histogram("nfs.client", "latency", proc=name).observe(latency)

@@ -50,6 +50,25 @@ class Proc(enum.IntEnum):
 #: nfsstat3 is the VFS status enum verbatim.
 NfsStatus = Status
 
+#: Procedures whose effects are not idempotent: a blind retransmission
+#: that re-executes returns spurious NOENT/EXIST or double-applies the
+#: mutation, so servers must answer duplicates from a reply cache
+#: (repro.rpc.drc).  WRITE/COMMIT are idempotent by offset; SETATTR is
+#: included because size/time updates can be guarded (ctime check).
+NON_IDEMPOTENT_PROCS = frozenset(
+    {
+        Proc.SETATTR,
+        Proc.CREATE,
+        Proc.MKDIR,
+        Proc.SYMLINK,
+        Proc.MKNOD,
+        Proc.REMOVE,
+        Proc.RMDIR,
+        Proc.RENAME,
+        Proc.LINK,
+    }
+)
+
 # ACCESS bits (RFC 1813 §3.3.4)
 ACCESS_READ = 0x0001
 ACCESS_LOOKUP = 0x0002

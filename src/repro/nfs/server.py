@@ -37,6 +37,7 @@ class NfsServerProgram(RpcProgram):
 
     prog = pr.NFS_PROGRAM
     vers = pr.NFS_V3
+    non_idempotent = frozenset(int(p) for p in pr.NON_IDEMPOTENT_PROCS)
 
     def __init__(
         self,

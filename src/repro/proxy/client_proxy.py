@@ -23,6 +23,7 @@ consistency protocols of [46] (out of scope, see DESIGN.md).
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
@@ -32,13 +33,18 @@ from repro.obs import NULL_SPAN
 from repro.nfs.protocol import Fattr3, FileHandle, NfsStatus, Proc
 from repro.rpc.auth import NULL_AUTH
 from repro.rpc.costs import CostProfile, FREE_PROFILE, charge_profile
-from repro.rpc.errors import RpcError
+from repro.rpc.drc import DuplicateRequestCache, REPLAY, WAIT, drc_key
+from repro.rpc.errors import RpcError, RpcTimeout, RpcTransportError
 from repro.rpc.messages import CallMessage, ReplyMessage
 from repro.rpc.transport import StreamTransport, Transport
 from repro.sim.core import Event, Simulator
+from repro.sim.process import any_of
 from repro.sim.sync import Gate
 from repro.vfs.disk import DiskModel
 from repro.xdr import Packer
+
+#: NFS procedures that must not re-execute on a duplicate request.
+_NFS_NON_IDEMPOTENT = frozenset(int(p) for p in pr.NON_IDEMPOTENT_PROCS)
 
 
 @dataclass
@@ -79,30 +85,84 @@ class _Block:
 
 
 class _CallRouter:
-    """Matches forwarded calls to upstream replies by our own xids."""
+    """Matches forwarded calls to upstream replies by our own xids.
 
-    def __init__(self, sim: Simulator, transport: Transport):
+    The xid source is external (shared by the proxy across router
+    generations) so a call retried on a replacement router keeps its
+    original rewritten xid — which is what lets the server-side proxy's
+    duplicate-request cache recognize the retry.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        xid_source: Optional[Callable[[], int]] = None,
+    ):
         self.sim = sim
         self.transport = transport
         self._pending: Dict[int, Event] = {}
-        self._next_xid = 0x7000_0000
+        if xid_source is None:
+            xid_source = itertools.count(0x7000_0001).__next__
+        self.allocate_xid = xid_source
+        self.retransmissions = 0
+        #: set when the pump dies; new forwards fail fast so the
+        #: recovery loop replaces the router instead of sending into a
+        #: connection nobody reads from anymore
+        self._dead: Optional[RpcError] = None
         sim.spawn(self._pump(), name="cproxy-pump")
 
-    def forward(self, call: CallMessage):
+    def forward(self, call: CallMessage, timeout: Optional[float] = None,
+                retrans: int = 0):
         """Process generator: send a call upstream, return ReplyMessage."""
-        self._next_xid += 1
-        xid = self._next_xid
+        xid = self.allocate_xid()
         rewritten = CallMessage(
             xid, call.prog, call.vers, call.proc, call.cred, call.verf, call.args
         )
+        reply = yield from self.forward_record(
+            xid, rewritten.encode(), timeout=timeout, retrans=retrans
+        )
+        return reply
+
+    def forward_record(self, xid: int, record: bytes,
+                       timeout: Optional[float] = None, retrans: int = 0):
+        """Send an already-encoded call and await the matching reply.
+
+        With ``timeout`` set, the identical record is retransmitted up
+        to ``retrans`` times on a doubling timer before
+        :class:`RpcTimeout` is raised."""
+        if self._dead is not None:
+            raise RpcTransportError(f"upstream is dead: {self._dead}")
         ev = self.sim.event(name=f"fw:{xid}")
         self._pending[xid] = ev
-        record = rewritten.encode()
-        if hasattr(self.transport, "charge"):
-            yield from self.transport.charge(len(record))
-        self.transport.send_record(record)
-        reply: ReplyMessage = yield ev
-        return reply
+        t = timeout
+        sent = 0
+        while True:
+            try:
+                if hasattr(self.transport, "charge"):
+                    yield from self.transport.charge(len(record))
+                self.transport.send_record(record)
+            except RpcError:
+                self._pending.pop(xid, None)
+                raise
+            except Exception as exc:
+                self._pending.pop(xid, None)
+                raise RpcTransportError(f"upstream send failed: {exc}") from exc
+            if t is None:
+                reply: ReplyMessage = yield ev
+                return reply
+            idx, value = yield any_of(self.sim, [ev, self.sim.timeout(t)])
+            if idx == 0:
+                return value
+            if sent >= retrans:
+                self._pending.pop(xid, None)
+                raise RpcTimeout(
+                    f"no upstream reply for xid={xid:#x} "
+                    f"after {sent + 1} transmissions"
+                )
+            sent += 1
+            self.retransmissions += 1
+            t *= 2.0
 
     def _pump(self):
         try:
@@ -118,12 +178,12 @@ class _CallRouter:
                 if ev is not None:
                     ev.succeed(reply)
         except Exception as exc:
-            err = RpcError(f"upstream transport failed: {exc}")
-            pending, self._pending = self._pending, {}
-            for ev in pending.values():
-                ev.fail(err)
+            self._fail_all(RpcError(f"upstream transport failed: {exc}"))
             return
-        err = RpcError("upstream closed")
+        self._fail_all(RpcError("upstream closed"))
+
+    def _fail_all(self, err: RpcError) -> None:
+        self._dead = err
         pending, self._pending = self._pending, {}
         for ev in pending.values():
             ev.fail(err)
@@ -144,6 +204,12 @@ class SgfsClientProxy:
         disk: Optional[DiskModel] = None,
         blocking: bool = True,
         cryptor=None,
+        upstream_timeo: Optional[float] = None,
+        upstream_retrans: int = 2,
+        upstream_retry_max: int = 5,
+        upstream_retry_base: float = 0.5,
+        upstream_retry_backoff: float = 2.0,
+        upstream_retry_cap: float = 10.0,
     ):
         """``upstream_factory()`` is a process generator returning a
         connected Transport to the server-side proxy (this is where the
@@ -172,9 +238,27 @@ class SgfsClientProxy:
             raise ValueError(
                 "at-rest protection requires the disk cache with write-back"
             )
+        #: reply timeout / same-record retransmission budget per attempt
+        #: on the upstream leg (None = wait forever, the historical mode)
+        self.upstream_timeo = upstream_timeo
+        self.upstream_retrans = upstream_retrans
+        #: reconnect-and-retry budget when the upstream leg fails
+        self.upstream_retry_max = upstream_retry_max
+        self.upstream_retry_base = upstream_retry_base
+        self.upstream_retry_backoff = upstream_retry_backoff
+        self.upstream_retry_cap = upstream_retry_cap
         self._listener = None
         self._router: Optional[_CallRouter] = None
         self._upstream: Optional[Transport] = None
+        #: rewritten-xid source, shared across router generations so a
+        #: retried call keeps its xid (the upstream DRC keys on it)
+        self._fwd_xids = itertools.count(0x7000_0001)
+        #: in-progress upstream reconnect (Event), if any
+        self._reconnecting: Optional[Event] = None
+        #: duplicate-request cache for the kernel client's leg: the
+        #: proxy rewrites xids upstream, so each serving hop needs its
+        #: own DRC for exactly-once semantics of non-idempotent calls
+        self._drc = DuplicateRequestCache(sim, name=f"cproxy:{listen_port}")
         #: closed while a configuration reload is being applied (§4.2);
         #: in-flight calls finish, new ones wait at the gate.
         self._serving = Gate(sim, open=True, name="cproxy-serving")
@@ -220,7 +304,9 @@ class SgfsClientProxy:
     def start(self):
         """Process generator: connect upstream, then start accepting."""
         self._upstream = yield from self.upstream_factory()
-        self._router = _CallRouter(self.sim, self._upstream)
+        self._router = _CallRouter(
+            self.sim, self._upstream, xid_source=self._fwd_xids.__next__
+        )
         self._listener = self.host.listen(self.listen_port)
         self.sim.spawn(self._accept_loop(), name=f"sgfs-cproxy:{self.listen_port}")
         if self.cache.enabled and self.cache.flush_age is not None:
@@ -313,8 +399,12 @@ class SgfsClientProxy:
             del self._blocks[vkey]
             self._cache_bytes -= len(vblock.data)
             if vblock.dirty:
-                yield from self._writeback_block(vkey[0], vkey[1], vblock.data)
+                # Clear the dirty mark *before* yielding to the (slow)
+                # writeback: a writer that re-dirties this block while
+                # the WRITE is in flight must not have its mark wiped
+                # out afterwards, or the new data would never flush.
                 self._dirty.get(vkey[0], set()).discard(vkey[1])
+                yield from self._writeback_block(vkey[0], vkey[1], vblock.data)
 
     def _block_get(self, fileid: int, block: int):
         key = (fileid, block)
@@ -348,7 +438,7 @@ class SgfsClientProxy:
             args=pr.pack_getattr_args(fh),
         )
         self.stats["revalidations"] += 1
-        reply = yield from self._router.forward(call)
+        reply = yield from self._forward_with_recovery(call)
         try:
             status, fresh = pr.unpack_getattr_res(reply.results)
         except Exception:
@@ -384,10 +474,37 @@ class SgfsClientProxy:
             call = CallMessage.decode(record)
         except Exception:
             return
+        key = None
+        if call.prog == pr.NFS_PROGRAM and call.proc in _NFS_NON_IDEMPOTENT:
+            key = drc_key(call)
+            state, value = self._drc.check(key)
+            if state == WAIT:
+                cached = yield value
+                if cached is not None:
+                    yield from self._reply_cached(transport, cpu, cached)
+                    return
+                # original execution aborted; we run the call ourselves
+            elif state == REPLAY:
+                yield from self._reply_cached(transport, cpu, value)
+                return
         with self.tracer.span("proxy.serve", cat="proxy", prog=call.prog,
                               proc=call.proc) if self.tracer.enabled else NULL_SPAN:
-            reply = yield from self._handle(call)
+            try:
+                reply = yield from self._handle(call)
+            except BaseException:
+                if key is not None:
+                    self._drc.abort(key)
+                raise
         encoded = reply.encode()
+        if key is not None:
+            self._drc.complete(key, encoded)
+        yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
+        try:
+            transport.send_record(encoded)
+        except Exception:
+            pass
+
+    def _reply_cached(self, transport: Transport, cpu, encoded: bytes):
         yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
         try:
             transport.send_record(encoded)
@@ -396,10 +513,82 @@ class SgfsClientProxy:
 
     def _forward(self, call: CallMessage):
         self.stats["forwarded"] += 1
-        assert self._router is not None
-        reply = yield from self._router.forward(call)
+        reply = yield from self._forward_with_recovery(call)
         reply.xid = call.xid
         return reply
+
+    def _forward_with_recovery(self, call: CallMessage):
+        """Forward upstream, surviving timeouts and transport death.
+
+        The rewritten xid and encoded record are fixed once, so every
+        retransmission — including those sent over a *replacement*
+        connection after the server-side proxy restarts — is the same
+        request to the upstream DRC, which replays rather than
+        re-executes non-idempotent procedures."""
+        assert self._router is not None
+        xid = self._router.allocate_xid()
+        rewritten = CallMessage(
+            xid, call.prog, call.vers, call.proc, call.cred, call.verf, call.args
+        )
+        record = rewritten.encode()
+        failures = 0
+        while True:
+            router = self._router
+            try:
+                reply = yield from router.forward_record(
+                    xid,
+                    record,
+                    timeout=self.upstream_timeo,
+                    retrans=self.upstream_retrans,
+                )
+                return reply
+            except RpcError:
+                failures += 1
+                if failures > self.upstream_retry_max:
+                    raise
+                self.stats["upstream_retries"] = (
+                    self.stats.get("upstream_retries", 0) + 1
+                )
+                yield self.sim.timeout(
+                    min(
+                        self.upstream_retry_cap,
+                        self.upstream_retry_base
+                        * self.upstream_retry_backoff ** (failures - 1),
+                    )
+                )
+                yield from self._ensure_upstream(router)
+
+    def _ensure_upstream(self, failed_router: _CallRouter):
+        """Replace a dead upstream connection, at most one attempt at a
+        time across all concurrent callers.
+
+        A failed attempt returns (the caller's backoff loop retries
+        within its own budget) rather than looping here, so total
+        patience is governed by ``upstream_retry_max``."""
+        if self._router is not failed_router:
+            return  # another caller already replaced it
+        if self._reconnecting is not None:
+            yield self._reconnecting
+            return
+        gate = self._reconnecting = self.sim.event(name="cproxy-reconnect")
+        try:
+            try:
+                upstream = yield from self.upstream_factory()
+            except Exception:
+                return  # server proxy still down; caller backs off
+            old = self._upstream
+            self._upstream = upstream
+            self._router = _CallRouter(
+                self.sim, upstream, xid_source=self._fwd_xids.__next__
+            )
+            if old is not None:
+                try:
+                    old.close()
+                except Exception:
+                    pass
+        finally:
+            self._reconnecting = None
+            gate.succeed(None)
 
     def _handle(self, call: CallMessage):
         if call.cred.flavor != 0:
@@ -708,7 +897,7 @@ class SgfsClientProxy:
             cred=self._session_cred if self._session_cred is not None else NULL_AUTH,
             args=pr.pack_write_args(fh, block * self.cache.block_size, data, pr.FILE_SYNC),
         )
-        reply = yield from self._router.forward(call)
+        reply = yield from self._forward_with_recovery(call)
         try:
             status, _after, count, _cm, _v = pr.unpack_write_res(reply.results)
         except Exception:

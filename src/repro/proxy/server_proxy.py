@@ -35,6 +35,7 @@ from repro.proxy.acl import AclStore, is_acl_name
 from repro.rpc.auth import AUTH_SYS, AuthSys
 from repro.rpc.client import RpcClient
 from repro.rpc.costs import CostProfile, FREE_PROFILE, charge_profile
+from repro.rpc.drc import DuplicateRequestCache, REPLAY, WAIT, drc_key
 from repro.rpc.messages import (
     AUTH_REJECTEDCRED,
     AUTH_TOOWEAK,
@@ -47,6 +48,9 @@ from repro.sim.core import Simulator
 from repro.tls.channel import HandshakeError, server_handshake
 from repro.tls.config import SecurityConfig
 from repro.vfs.fs import VirtualFS
+
+#: NFS procedures that must not re-execute on a duplicate request.
+_NFS_NON_IDEMPOTENT = frozenset(int(p) for p in pr.NON_IDEMPOTENT_PROCS)
 
 
 class AuthzDecision:
@@ -101,6 +105,14 @@ class SgfsServerProxy:
         self.calls_forwarded = 0
         self._listener = None
         self._reload_pending = False
+        #: duplicate-request cache, keyed on the *pre-remap* credential
+        #: (the client's identity).  It lives on the proxy object, not
+        #: the session, modeling a reply cache that survives a proxy
+        #: restart — a retried non-idempotent call over the replacement
+        #: session replays instead of re-executing.
+        self._drc = DuplicateRequestCache(sim, name=f"sproxy:{listen_port}")
+        #: raw sockets of live sessions, for crash injection
+        self._session_socks: list = []
         self.obs = sim.obs
         self.tracer = sim.tracer
         if self.obs.enabled:
@@ -126,6 +138,23 @@ class SgfsServerProxy:
             self._listener.close()
             self._listener = None
 
+    def crash(self) -> None:
+        """Crash injection: stop accepting and sever every live session.
+
+        The DRC and authorization state survive (the reply cache models
+        stable storage); clients reconnect and retried calls replay."""
+        self.stop()
+        socks, self._session_socks = self._session_socks, []
+        for sock in socks:
+            try:
+                sock.abort()
+            except Exception:
+                pass
+
+    def restart(self) -> None:
+        """Come back up after :meth:`crash` — rebind and accept again."""
+        self.start()
+
     def reload(self, security: Optional[SecurityConfig] = None,
                gridmap: Optional[Gridmap] = None) -> None:
         """Dynamic reconfiguration (§4.2): applies to new sessions and
@@ -147,6 +176,14 @@ class SgfsServerProxy:
     # -- per-session ---------------------------------------------------------
 
     def _session(self, sock):
+        self._session_socks.append(sock)
+        try:
+            yield from self._session_body(sock)
+        finally:
+            if sock in self._session_socks:
+                self._session_socks.remove(sock)
+
+    def _session_body(self, sock):
         cpu = self.host.cpu
         if self.security is not None:
             try:
@@ -203,12 +240,44 @@ class SgfsServerProxy:
             call = CallMessage.decode(record)
         except Exception:
             return  # garbage on the wire: drop
-        with self.tracer.span("proxy.authorize", cat="proxy", prog=call.prog,
-                              proc=call.proc) if self.tracer.enabled else NULL_SPAN:
-            reply = yield from self._authorize_and_forward(
-                upstream, call, identity, mapped
-            )
+        key = None
+        if call.prog == pr.NFS_PROGRAM and call.proc in _NFS_NON_IDEMPOTENT:
+            # keyed on the pre-remap credential: the duplicate carries
+            # the same client identity/xid whichever session it rode in on
+            key = drc_key(call)
+            state, value = self._drc.check(key)
+            if state == WAIT:
+                cached = yield value
+                if cached is not None:
+                    yield from self._reply_cached(transport, cpu, cached)
+                    return
+                # original executor died mid-call; we run it instead
+            elif state == REPLAY:
+                yield from self._reply_cached(transport, cpu, value)
+                return
+        try:
+            with self.tracer.span("proxy.authorize", cat="proxy", prog=call.prog,
+                                  proc=call.proc) if self.tracer.enabled else NULL_SPAN:
+                reply = yield from self._authorize_and_forward(
+                    upstream, call, identity, mapped
+                )
+        except BaseException:
+            if key is not None:
+                self._drc.abort(key)
+            raise
         encoded = reply.encode()
+        if key is not None:
+            self._drc.complete(key, encoded)
+        yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
+        if hasattr(transport, "charge"):
+            yield from transport.charge(len(encoded))
+        try:
+            transport.send_record(encoded)
+        except Exception:
+            pass  # peer vanished
+
+    def _reply_cached(self, transport, cpu, encoded: bytes):
+        """Send a DRC-cached reply, charging the usual outbound costs."""
         yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
         if hasattr(transport, "charge"):
             yield from transport.charge(len(encoded))

@@ -14,11 +14,12 @@ from typing import Dict, Optional
 from repro.obs import NULL_SPAN
 from repro.rpc.auth import NULL_AUTH, OpaqueAuth
 from repro.rpc.costs import EndpointCost, FREE
-from repro.rpc.errors import RpcError, RpcTransportError
+from repro.rpc.errors import RpcError, RpcTimeout, RpcTransportError
 from repro.rpc.messages import CallMessage, ReplyMessage
 from repro.rpc.transport import Transport
 from repro.sim.core import Event, Simulator
 from repro.sim.cpu import CPU
+from repro.sim.process import any_of
 
 _xid_counter = itertools.count(0x10_0000)
 
@@ -44,29 +45,68 @@ class RpcClient:
         self.cost = cost
         self.account = account
         self.calls_sent = 0
+        self.retransmissions = 0
+        self._c_retrans = None
         self.obs = sim.obs
         self.tracer = sim.tracer
         self._c_calls = self.obs.counter("rpc.client", "calls", account=account)
         self._c_bytes_out = self.obs.counter("rpc.client", "bytes_out", account=account)
         self._c_bytes_in = self.obs.counter("rpc.client", "bytes_in", account=account)
         self._pending: Dict[int, Event] = {}
+        #: set when the reply pump dies; new calls fail fast instead of
+        #: sending into a connection nobody reads from anymore
+        self._dead: Optional[RpcTransportError] = None
         self._pump = sim.spawn(self._reply_pump(), name=f"rpc-pump:{prog}/{vers}")
 
     # -- calling ---------------------------------------------------------
 
-    def call(self, proc: int, args: bytes, cred: OpaqueAuth = NULL_AUTH):
+    @staticmethod
+    def next_xid() -> int:
+        """Allocate a fresh xid from the shared counter.
+
+        Callers that retransmit across reconnects (the NFS hard-mount
+        loop) pin one xid up front so the server's duplicate-request
+        cache recognises the retry as the same request.
+        """
+        return next(_xid_counter)
+
+    def call(
+        self,
+        proc: int,
+        args: bytes,
+        cred: OpaqueAuth = NULL_AUTH,
+        xid: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retrans: int = 0,
+    ):
         """Process generator: perform one call, return the result bytes.
 
         Raises an :class:`RpcError` subclass on a non-SUCCESS reply, and
-        :class:`RpcError` if the transport dies first.
+        :class:`RpcError` if the transport dies first.  With ``timeout``
+        set, the in-flight request is retransmitted (same xid, same
+        record) up to ``retrans`` times on a doubling timer before
+        :class:`RpcTimeout` is raised.
         """
-        reply = yield from self.call_detailed(proc, args, cred)
+        reply = yield from self.call_detailed(
+            proc, args, cred, xid=xid, timeout=timeout, retrans=retrans
+        )
         reply.raise_for_status()
         return reply.results
 
-    def call_detailed(self, proc: int, args: bytes, cred: OpaqueAuth = NULL_AUTH):
+    def call_detailed(
+        self,
+        proc: int,
+        args: bytes,
+        cred: OpaqueAuth = NULL_AUTH,
+        xid: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retrans: int = 0,
+    ):
         """Like :meth:`call` but returns the full :class:`ReplyMessage`."""
-        xid = next(_xid_counter)
+        if self._dead is not None:
+            raise RpcTransportError(f"transport is dead: {self._dead}")
+        if xid is None:
+            xid = next(_xid_counter)
         msg = CallMessage(xid, self.prog, self.vers, proc, cred=cred, args=args)
         record = msg.encode()
         observing = self.obs.enabled
@@ -86,7 +126,12 @@ class RpcClient:
             except Exception as exc:
                 self._pending.pop(xid, None)
                 raise RpcTransportError(f"send failed: {exc}") from exc
-            reply: ReplyMessage = yield ev
+            if timeout is None:
+                reply: ReplyMessage = yield ev
+            else:
+                reply = yield from self._await_with_retrans(
+                    ev, xid, record, timeout, retrans
+                )
             if self.cpu is not None:
                 yield from self.cpu.consume(
                     self.cost.cost(len(reply.results)), self.account
@@ -97,6 +142,41 @@ class RpcClient:
                 self.sim.now - start
             )
         return reply
+
+    def _await_with_retrans(
+        self, ev: Event, xid: int, record: bytes, timeout: float, retrans: int
+    ):
+        """Wait for the reply, retransmitting the same record on timeout.
+
+        The xid stays pending across retransmissions, so whichever copy
+        the server answers first completes the call; the reply pump
+        drops the later duplicates.
+        """
+        t = timeout
+        sent = 0
+        while True:
+            idx, value = yield any_of(self.sim, [ev, self.sim.timeout(t)])
+            if idx == 0:
+                return value
+            if sent >= retrans:
+                self._pending.pop(xid, None)
+                raise RpcTimeout(
+                    f"no reply for xid={xid:#x} after {sent + 1} transmissions"
+                )
+            sent += 1
+            self.retransmissions += 1
+            if self.obs.enabled:
+                if self._c_retrans is None:
+                    self._c_retrans = self.obs.counter(
+                        "rpc.client", "retransmissions", account=self.account
+                    )
+                self._c_retrans.inc()
+            try:
+                self.transport.send_record(record)
+            except Exception as exc:
+                self._pending.pop(xid, None)
+                raise RpcTransportError(f"send failed: {exc}") from exc
+            t *= 2.0
 
     @property
     def outstanding(self) -> int:
@@ -124,6 +204,7 @@ class RpcClient:
         self._fail_all(RpcTransportError("connection closed with calls outstanding"))
 
     def _fail_all(self, exc: RpcTransportError) -> None:
+        self._dead = exc
         pending, self._pending = self._pending, {}
         for ev in pending.values():
             ev.fail(exc)

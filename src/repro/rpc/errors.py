@@ -44,3 +44,12 @@ class RpcTransportError(RpcError):
     Distinct from server-reported errors: callers with hard-mount
     semantics retry these after reconnecting, like a kernel NFS client.
     """
+
+
+class RpcTimeout(RpcTransportError):
+    """No reply arrived within the caller's retransmission budget.
+
+    Raised by clients that retransmit in-flight requests on a timer
+    (``timeout=``/``retrans=``); the transport itself may still be
+    alive.  Subclasses :class:`RpcTransportError` so hard-mount callers
+    treat a silent server exactly like a dead connection."""

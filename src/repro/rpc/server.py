@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.obs import NULL_SPAN
 from repro.rpc.costs import EndpointCost, FREE
+from repro.rpc.drc import DuplicateRequestCache, REPLAY, WAIT, drc_key
 from repro.rpc.errors import RpcError
 from repro.rpc.messages import (
     CallMessage,
@@ -44,6 +45,9 @@ class RpcProgram:
 
     prog: int = 0
     vers: int = 0
+    #: Procedure numbers whose replies must go through the server's
+    #: duplicate-request cache (non-idempotent operations).
+    non_idempotent: frozenset = frozenset()
 
     def handle(self, proc: int, args: bytes, call: CallMessage, ctx: "CallContext"):
         raise NotImplementedError  # pragma: no cover - interface
@@ -79,6 +83,7 @@ class RpcServer:
         account: str = "rpc-server",
         max_inflight: int = 64,
         name: str = "rpc-server",
+        drc: Optional[DuplicateRequestCache] = None,
     ):
         self.sim = sim
         self.cpu = cpu
@@ -94,6 +99,8 @@ class RpcServer:
         self._programs: Dict[Tuple[int, int], RpcProgram] = {}
         self._versions: Dict[int, Tuple[int, int]] = {}
         self._inflight = Semaphore(sim, max_inflight, name=f"{name}.inflight")
+        self.drc = drc if drc is not None else DuplicateRequestCache(sim, name=name)
+        self._transports: list = []
 
     # -- registration ------------------------------------------------------
 
@@ -123,19 +130,37 @@ class RpcServer:
 
     def serve_transport(self, transport: Transport) -> None:
         """Serve RPC calls arriving on an established transport."""
+        self._transports.append(transport)
         self.sim.spawn(self._connection_loop(transport), name=f"{self.name}.conn")
 
+    def disconnect_all(self) -> None:
+        """Tear down every active connection (crash injection)."""
+        transports, self._transports = self._transports, []
+        for transport in transports:
+            sock = getattr(transport, "sock", None)
+            if sock is not None and hasattr(sock, "abort"):
+                sock.abort()
+            else:
+                try:
+                    transport.close()
+                except Exception:
+                    pass
+
     def _connection_loop(self, transport: Transport):
-        while True:
-            try:
-                record = yield from transport.recv_record()
-            except Exception:
-                return
-            if record is None:
-                return
-            self.sim.spawn(
-                self._serve_call(transport, record), name=f"{self.name}.call"
-            )
+        try:
+            while True:
+                try:
+                    record = yield from transport.recv_record()
+                except Exception:
+                    return
+                if record is None:
+                    return
+                self.sim.spawn(
+                    self._serve_call(transport, record), name=f"{self.name}.call"
+                )
+        finally:
+            if transport in self._transports:
+                self._transports.remove(transport)
 
     def _serve_call(self, transport: Transport, record: bytes):
         yield self._inflight.acquire()
@@ -150,11 +175,31 @@ class RpcServer:
                 call = CallMessage.decode(record)
             except Exception:
                 return  # undecodable header: drop, like a real server
+            program = self._programs.get((call.prog, call.vers))
+            key = None
+            if program is not None and call.proc in program.non_idempotent:
+                key = drc_key(call)
+                state, value = self.drc.check(key)
+                if state == WAIT:
+                    cached = yield value
+                    if cached is not None:
+                        self._send_silently(transport, cached)
+                        return
+                    # Original execution aborted; we were promoted to
+                    # run the call ourselves (entry stays in-progress).
+                elif state == REPLAY:
+                    self._send_silently(transport, value)
+                    return
             with self.tracer.span(
                 "rpc.serve", cat="rpc", server=self.name,
                 prog=call.prog, proc=call.proc,
             ) if self.tracer.enabled else NULL_SPAN:
-                reply = yield from self._dispatch(transport, call)
+                try:
+                    reply = yield from self._dispatch(transport, call)
+                except BaseException:
+                    if key is not None:
+                        self.drc.abort(key)
+                    raise
                 if self.cpu is not None:
                     yield from self.cpu.consume(
                         self.cost.cost(len(reply.results)), self.account
@@ -164,13 +209,23 @@ class RpcServer:
                 self.obs.histogram(
                     "rpc.server", "service_time", server=self.name, proc=call.proc
                 ).observe(self.sim.now - start)
+            encoded = reply.encode()
+            if key is not None:
+                self.drc.complete(key, encoded)
             try:
-                transport.send_record(reply.encode())
+                transport.send_record(encoded)
             except Exception:
                 return  # peer went away while we processed
             self.calls_served += 1
         finally:
             self._inflight.release()
+
+    @staticmethod
+    def _send_silently(transport: Transport, record: bytes) -> None:
+        try:
+            transport.send_record(record)
+        except Exception:
+            pass  # peer went away; the retransmission loop covers it
 
     def _dispatch(self, transport: Transport, call: CallMessage):
         program = self._programs.get((call.prog, call.vers))

@@ -16,7 +16,7 @@ connection-oriented transports" as the paper's §4.1 describes:
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import zlib
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.net.datagram import DatagramEndpoint
@@ -106,7 +106,14 @@ class UdpRpcClient:
 
 
 class UdpRpcServer:
-    """Serves one program over a datagram endpoint, with a DRC."""
+    """Serves one program over a datagram endpoint, with a DRC.
+
+    Built on the shared :class:`repro.rpc.drc.DuplicateRequestCache`:
+    completed replies are replayed from the cache and a duplicate of an
+    *in-progress* call parks on the original execution instead of racing
+    it (the classic UDP failure mode: retransmission arrives while the
+    first copy is still executing, and both run).
+    """
 
     def __init__(
         self,
@@ -116,16 +123,22 @@ class UdpRpcServer:
         drc_size: int = 256,
         protector=None,
     ):
+        from repro.rpc.drc import DuplicateRequestCache
+
         self.sim = sim
         self.endpoint = endpoint
         self.program = program
         self.protector = protector
-        #: duplicate request cache: (src, xid) -> encoded reply
-        self._drc: "OrderedDict[Tuple, bytes]" = OrderedDict()
-        self.drc_size = drc_size
-        self.drc_hits = 0
+        self.drc = DuplicateRequestCache(
+            sim, capacity=drc_size, name=f"udp:{endpoint.host.name}:{endpoint.port}"
+        )
         self.calls_executed = 0
         sim.spawn(self._serve_loop(), name="udp-rpc-server")
+
+    @property
+    def drc_hits(self) -> int:
+        """Duplicates answered without re-execution (replayed or parked)."""
+        return self.drc.replays + self.drc.parks
 
     def _serve_loop(self):
         while True:
@@ -136,6 +149,8 @@ class UdpRpcServer:
             self.sim.spawn(self._serve_one(src, payload), name="udp-rpc-call")
 
     def _serve_one(self, src, payload: bytes):
+        from repro.rpc.drc import REPLAY, WAIT
+
         if self.protector is not None:
             try:
                 payload = self.protector.open(payload)
@@ -145,12 +160,18 @@ class UdpRpcServer:
             call = CallMessage.decode(payload)
         except Exception:
             return
-        key = (src, call.xid)
-        cached = self._drc.get(key)
-        if cached is not None:
-            # retransmission of an already-executed request
-            self.drc_hits += 1
-            self._send(src, cached)
+        # UDP identity is the source address; every procedure goes
+        # through the cache (classic connectionless DRC behavior).
+        key = (src, call.xid, call.proc, zlib.crc32(call.args))
+        state, value = self.drc.check(key)
+        if state == WAIT:
+            cached = yield value
+            if cached is not None:
+                self._send(src, cached)
+                return
+            # original execution died; we were promoted to run the call
+        elif state == REPLAY:
+            self._send(src, value)
             return
         from repro.rpc.server import CallContext
 
@@ -164,7 +185,7 @@ class UdpRpcServer:
             from repro.rpc.messages import SYSTEM_ERR, error_reply
 
             encoded = error_reply(call.xid, SYSTEM_ERR).encode()
-            self._remember(key, encoded)
+            self.drc.complete(key, encoded)
             self._send(src, encoded)
             return
         from repro.rpc.messages import success_reply
@@ -174,16 +195,11 @@ class UdpRpcServer:
         )
         encoded = reply.encode()
         self.calls_executed += 1
-        self._remember(key, encoded)
+        self.drc.complete(key, encoded)
         self._send(src, encoded)
 
     # CallContext expects a ``cpu`` attribute on the server object
     cpu = None
-
-    def _remember(self, key, encoded: bytes) -> None:
-        self._drc[key] = encoded
-        while len(self._drc) > self.drc_size:
-            self._drc.popitem(last=False)
 
     def _send(self, src, encoded: bytes) -> None:
         if self.protector is not None:
