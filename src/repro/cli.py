@@ -4,7 +4,9 @@ Commands:
 
 - ``list`` — the available setups, cipher suites and workloads,
 - ``info`` — the active calibration constants,
-- ``run`` — one workload on one setup at one RTT, with per-phase output,
+- ``run`` — one workload on one setup at one RTT, with per-phase output;
+  ``--clients N`` scales it out to an N-client concurrent fleet
+  (per-client sessions, caches, and DRBG streams; one contended server),
 - ``figure`` — regenerate one of the paper's figures as a text table,
 - ``sweep`` — a workload across a list of RTTs for two setups
   (Figure-8-style series for any workload),
@@ -70,6 +72,15 @@ def _parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fault-seed", default="faults",
                        help="seed for the fault schedule; same seed => "
                             "identical drop schedule (default: 'faults')")
+    run_p.add_argument("--clients", type=int, default=1,
+                       help="fleet size: run N concurrent clients against "
+                            "one server (default: 1 = classic single run)")
+    run_p.add_argument("--stagger-ms", type=float, default=0.0,
+                       help="virtual milliseconds between fleet client "
+                            "starts (default: 0 = synchronized)")
+    run_p.add_argument("--stats-json", default=None, metavar="FILE",
+                       help="write the cross-layer metrics snapshot to "
+                            "FILE as JSON")
 
     fig_p = sub.add_parser("figure", help="regenerate a figure of the paper")
     fig_p.add_argument("name", choices=FIGURES)
@@ -139,6 +150,60 @@ def _cmd_info(out) -> int:
     return 0
 
 
+def _write_stats_json(path: str, stats: dict, out) -> int:
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, sort_keys=True, indent=2)
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=out)
+        return 2
+    print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_run_fleet(args, kwargs, out) -> int:
+    """The ``run --clients N`` path: one N-client concurrent fleet."""
+    from repro.harness import run_fleet
+    from repro.workloads.iozone import IOzoneReadReread
+    from repro.workloads.mab import ModifiedAndrewBenchmark
+    from repro.workloads.postmark import PostMark
+    from repro.workloads.seismic import Seismic
+
+    factories = {
+        "iozone": lambda: IOzoneReadReread(),
+        "postmark": lambda: PostMark(None),
+        "mab": ModifiedAndrewBenchmark,
+        "seismic": lambda: Seismic(None),
+    }
+    try:
+        result = run_fleet(
+            args.setup, factories[args.workload], clients=args.clients,
+            rtt=args.rtt_ms / 1000.0, stagger=args.stagger_ms / 1000.0,
+            setup_kwargs=kwargs or None,
+            faults=args.faults, fault_seed=args.fault_seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    rtt_label = "LAN" if args.rtt_ms == 0 else f"{args.rtt_ms:g}ms RTT"
+    print(f"{args.workload} on {args.setup} ({rtt_label}), "
+          f"{args.clients}-client fleet", file=out)
+    print(f"  {'makespan':12s} {result.makespan:10.3f}s", file=out)
+    print(f"  {'mean/client':12s} {result.mean_client_seconds:10.3f}s", file=out)
+    for c in result.per_client:
+        print(f"  {c.name:12s} {c.total:10.3f}s "
+              f"(start {c.start:.3f}s)", file=out)
+    if args.faults:
+        fstats = result.stats.get("faults", {})
+        shown = {k: v for k, v in fstats.items() if v}
+        print(f"  faults[{args.faults}]: "
+              + (", ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+                 or "no packets perturbed"), file=out)
+    if args.stats_json:
+        return _write_stats_json(args.stats_json, result.stats, out)
+    return 0
+
+
 def _cmd_run(args, out) -> int:
     runner = WORKLOAD_RUNNERS[args.workload]
     kwargs = {}
@@ -147,6 +212,11 @@ def _cmd_run(args, out) -> int:
             print("error: --disk-cache applies only to proxied setups", file=out)
             return 2
         kwargs["disk_cache"] = True
+    if args.clients < 1:
+        print("error: --clients must be >= 1", file=out)
+        return 2
+    if args.clients > 1:
+        return _cmd_run_fleet(args, kwargs, out)
     result = runner(args.setup, rtt=args.rtt_ms / 1000.0, setup_kwargs=kwargs or None,
                     faults=args.faults, fault_seed=args.fault_seed)
     rtt_label = "LAN" if args.rtt_ms == 0 else f"{args.rtt_ms:g}ms RTT"
@@ -168,6 +238,8 @@ def _cmd_run(args, out) -> int:
                 pct = result.cpu_mean(side, account)
                 if pct > 0:
                     print(f"  cpu[{side}:{account}] = {pct:.1f}%", file=out)
+    if args.stats_json:
+        return _write_stats_json(args.stats_json, result.stats, out)
     return 0
 
 

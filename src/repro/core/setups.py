@@ -86,20 +86,30 @@ class Mount:
 
 
 def _kernel_client(tb: Testbed, connect_host: str, port: int, cred: AuthSys,
-                   cache_bytes: Optional[int], vers: int = pr.NFS_V3) -> "object":
-    """Process generator: build the kernel-like NFS client."""
+                   cache_bytes: Optional[int], vers: int = pr.NFS_V3,
+                   host=None, root_fh=None) -> "object":
+    """Process generator: build the kernel-like NFS client.
+
+    ``host`` is the simulated machine the client runs on (defaults to
+    the testbed's primary ``client``; fleets pass their own per-client
+    hosts).  ``root_fh`` overrides the mount root (defaults to the
+    export root; fleets mount per-client subdirectories)."""
     cal = tb.cal
+    if host is None:
+        host = tb.client
+    if root_fh is None:
+        root_fh = tb.nfs_program.root_handle()
 
     def connect_rpc():
-        sock = yield from tb.client.connect(connect_host, port)
+        sock = yield from host.connect(connect_host, port)
         return RpcClient(
             tb.sim, StreamTransport(sock), pr.NFS_PROGRAM, vers,
-            cpu=tb.client.cpu, cost=cal.kernel_client_cost, account="kernel-nfs",
+            cpu=host.cpu, cost=cal.kernel_client_cost, account="kernel-nfs",
         )
 
     rpc = yield from connect_rpc()
     client = NfsClient(
-        tb.sim, rpc, tb.nfs_program.root_handle(), cred,
+        tb.sim, rpc, root_fh, cred,
         block_size=cal.block_size,
         cache_bytes=cache_bytes if cache_bytes is not None else cal.client_cache_bytes,
         read_ahead_blocks=cal.read_ahead_blocks,

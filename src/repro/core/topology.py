@@ -65,18 +65,29 @@ class Testbed:
         export_uid: int = 901,
         telemetry: bool = False,
         tracing: bool = False,
+        server_workers: Optional[int] = None,
+        vfs_locking: bool = False,
     ) -> "Testbed":
         """Create the §6.1 topology.
 
         ``rtt`` is the NIST-Net-emulated round-trip time *added* by the
         router (0 for the LAN runs; the base LAN RTT of ~0.3 ms comes
-        from the links themselves).
+        from the links themselves), in virtual seconds.
 
         ``telemetry`` enables the cross-layer metrics registry;
         ``tracing`` additionally records causal spans for Chrome-trace
         export.  Both are off by default and cost one attribute check
         per instrumented call site when off.  Neither consumes virtual
         time, so enabling them never changes simulated results.
+
+        ``server_workers=N`` runs the kernel NFS server in worker-pool
+        mode (per-session request queues drained round-robin by N
+        workers — the nfsd thread-pool model); the default ``None``
+        keeps spawn-per-call dispatch.  ``vfs_locking=True`` turns on
+        per-fileid reader/writer locks in the NFS program so concurrent
+        fleet clients serialize correctly.  Both knobs are no-ops for
+        single-client runs (uncontended acquisitions cost zero virtual
+        time), so the eight golden setups are unaffected.
         """
         obs = Registry() if telemetry or tracing else NULL_REGISTRY
         sim = Simulator(obs=obs)
@@ -102,10 +113,10 @@ class Testbed:
             read_bandwidth=cal.server_disk_read_bw,
             write_bandwidth=cal.server_disk_write_bw,
         )
-        nfs_program = NfsServerProgram(sim, fs, server_disk)
+        nfs_program = NfsServerProgram(sim, fs, server_disk, locking=vfs_locking)
         nfs_rpc_server = RpcServer(
             sim, cpu=server.cpu, cost=cal.kernel_server_cost, account="kernel-nfs",
-            name="nfsd",
+            name="nfsd", workers=server_workers,
         )
         nfs_rpc_server.register(nfs_program)
         from repro.nfs.v4 import NfsV4ServerProgram
@@ -130,6 +141,20 @@ class Testbed:
         )
 
     # -- conveniences ------------------------------------------------------------
+
+    def add_client(self, name: str) -> Host:
+        """Attach another compute client to the topology.
+
+        The new host hangs off the same delay router as the primary
+        ``client`` (a LAN-grade link; the router adds the emulated WAN
+        RTT on the way to the server), so every fleet member sees the
+        same path characteristics and contends for the shared
+        router-to-server link.  Returns the new :class:`Host`; ports on
+        it are independent of every other host's."""
+        host = Host(self.sim, self.net, name)
+        self.net.connect(name, "router", latency=self.cal.lan_link_latency,
+                         bandwidth=self.cal.lan_bandwidth)
+        return host
 
     def alloc_port(self) -> int:
         return next(self._port_alloc)

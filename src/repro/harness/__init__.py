@@ -7,6 +7,7 @@ paper's evaluation, and usable directly::
     table = run_iozone_lan(setups=["nfs-v3", "gfs", "sgfs-aes"])
 """
 
+from repro.harness.fleet import FleetClientResult, FleetResult, run_fleet
 from repro.harness.runner import (
     ExperimentResult,
     run_workload,
@@ -20,6 +21,9 @@ from repro.harness.trace import RpcTracer, TraceSummary
 
 __all__ = [
     "ExperimentResult",
+    "FleetClientResult",
+    "FleetResult",
+    "run_fleet",
     "run_workload",
     "run_iozone",
     "run_postmark",

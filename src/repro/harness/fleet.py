@@ -1,0 +1,383 @@
+"""Scale-out harness: N concurrent clients against one server.
+
+The paper evaluates SGFS with one client per session, but the system's
+point is *grid-wide* sharing — many users mounting one server through
+per-user secured sessions.  :func:`run_fleet` builds that scenario on a
+single deterministic simulation:
+
+- one server (kernel NFS + one shared server-side proxy for the proxied
+  setups), running the worker-pool RPC discipline
+  (:class:`repro.rpc.server.RpcServer` with ``workers=N``) and
+  per-fileid reader/writer locking in the NFS program;
+- N client *hosts* (``c0`` … ``cN-1``), each with its own kernel-like
+  NFS client, client proxy, TLS session, proxy cache, and DRBG stream
+  — per-client certificates are issued by one CA and mapped through the
+  shared gridmap to per-client accounts, so the server proxy enforces
+  gridmap/ACL policy per session;
+- per-client workload instances over per-client subdirectories
+  (``/c0`` … ) of the shared export, with a synchronized or staggered
+  start schedule.
+
+Determinism: client processes are spawned in index order, every queue in
+the stack is FIFO, and all randomness flows from ``session_seed``
+through forked DRBG streams — two same-seed runs are bit-identical,
+including under ``faults=`` (packet-level fault schedules are seeded by
+``fault_seed`` exactly as in :func:`repro.harness.runner.run_workload`).
+
+All times are **virtual seconds**; all sizes are **bytes**.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.setups import (
+    CA_DN,
+    FILE_ACCOUNT,
+    JOB_ACCOUNT,
+    SERVER_DN,
+    USER_DN,
+    Mount,
+    _cache_config,
+    _cache_disk,
+    _kernel_client,
+)
+from repro.core.topology import (
+    CLIENT_PROXY_PORT,
+    NFS_PORT,
+    SERVER_PROXY_PORT,
+    Testbed,
+)
+from repro.crypto.drbg import Drbg
+from repro.faults import FaultPlan, resolve_fault_preset
+from repro.gsi import CertificateAuthority, DistinguishedName, Gridmap
+from repro.gsi.gridmap import UnmappedPolicy
+from repro.nfs import protocol as pr
+from repro.nfs.protocol import FileHandle
+from repro.nfs.v4 import NFS_V4
+from repro.proxy.accounts import Account
+from repro.proxy.client_proxy import SgfsClientProxy
+from repro.proxy.server_proxy import SgfsServerProxy
+from repro.rpc.auth import AuthSys
+from repro.rpc.transport import StreamTransport
+from repro.sim.sync import Channel
+from repro.tls import SecurityConfig
+from repro.tls.channel import client_handshake
+from repro.vfs.fs import ROOT_CRED, Credentials
+
+#: first uid of the per-client grid accounts (``grid00`` = 9100, …)
+FLEET_UID_BASE = 9100
+
+_SUITES = {
+    "sgfs-sha": "null-sha1",
+    "sgfs-rc": "rc4-128-sha1",
+    "sgfs-aes": "aes-256-cbc-sha1",
+    "sgfs": "aes-256-cbc-sha1",
+}
+
+
+@dataclass
+class FleetClientResult:
+    """One fleet member's outcome (virtual seconds)."""
+
+    name: str
+    start: float
+    end: float
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of a fleet run.
+
+    ``makespan`` is launch-to-last-finish in virtual seconds (staggered
+    starts included); ``per_client`` is ordered by client index.
+    ``stats`` is the merged cross-layer registry snapshot — colliding
+    per-session collector names are summed, see
+    :func:`repro.obs.merge_metric`.
+    """
+
+    setup: str
+    clients: int
+    makespan: float
+    per_client: List[FleetClientResult] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def aggregate_throughput(self, bytes_per_client: int) -> float:
+        """Fleet-wide rate in bytes per virtual second, given how many
+        payload bytes each client's workload moved."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.clients * bytes_per_client / self.makespan
+
+    @property
+    def mean_client_seconds(self) -> float:
+        if not self.per_client:
+            return 0.0
+        return sum(c.total for c in self.per_client) / len(self.per_client)
+
+
+class _ScopedFs:
+    """A view of the shared VFS rooted at one client's subdirectory.
+
+    Workload ``prepare`` hooks address the export through ``tb.fs.root``;
+    handing them this view (via a shallow testbed copy) makes the same
+    unmodified workload land its dataset inside the client's directory.
+    """
+
+    def __init__(self, fs, root_inode):
+        self._fs = fs
+        self.root = root_inode
+
+    def __getattr__(self, name):
+        return getattr(self._fs, name)
+
+
+class _ScopedTestbed:
+    """Testbed facade whose ``fs`` is a :class:`_ScopedFs`."""
+
+    def __init__(self, tb: Testbed, scoped_fs: _ScopedFs):
+        self._tb = tb
+        self.fs = scoped_fs
+
+    def __getattr__(self, name):
+        return getattr(self._tb, name)
+
+
+def _client_dn(i: int) -> DistinguishedName:
+    return DistinguishedName.parse(f"/C=US/O=UFL/OU=ACIS/CN=Grid User {i:02d}")
+
+
+def run_fleet(
+    setup: str,
+    workload_factory: Callable[..., object],
+    clients: int = 4,
+    rtt: float = 0.0,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    stagger: float = 0.0,
+    setup_kwargs: Optional[dict] = None,
+    telemetry: bool = True,
+    tracing: bool = False,
+    faults=None,
+    fault_seed: str = "faults",
+    server_workers: Optional[int] = 8,
+    session_seed: str = "fleet",
+) -> FleetResult:
+    """Run ``clients`` concurrent workload instances against one server.
+
+    ``setup`` is a :data:`~repro.core.setups.SETUP_BUILDERS` family:
+    ``nfs-v3`` / ``nfs-v4`` (kernel clients straight at the server),
+    ``gfs`` (proxied, plain channel, every session mapped to the
+    management account), or ``sgfs-sha`` / ``sgfs-rc`` / ``sgfs-aes`` /
+    ``sgfs`` (proxied, per-client TLS sessions with per-client
+    certificates and gridmap entries).  ``sfs`` and ``gfs-ssh`` are
+    single-session designs and raise ``ValueError``.
+
+    ``workload_factory`` builds one workload per client; it may take
+    zero arguments or the client index (for per-client workload mixes).
+    ``stagger`` spaces client starts that many virtual seconds apart
+    (0 = synchronized start).  ``server_workers`` sizes the server-side
+    RPC worker pool (``None`` = legacy spawn-per-call dispatch).
+
+    Returns a :class:`FleetResult`; all reported times are virtual
+    seconds.  Two calls with identical arguments produce bit-identical
+    results (same ``makespan``, ``per_client``, and ``stats``).
+    """
+    if clients < 1:
+        raise ValueError("fleet needs at least one client")
+    if setup in ("sfs", "gfs-ssh"):
+        raise ValueError(f"{setup} is a single-session design; fleets unsupported")
+    if setup not in ("nfs-v3", "nfs-v4", "gfs") and setup not in _SUITES:
+        raise ValueError(f"unknown fleet setup {setup!r}")
+    kw = dict(setup_kwargs or {})
+    cache_bytes = kw.pop("cache_bytes", None)
+    disk_cache = kw.pop("disk_cache", False)
+    if kw:
+        raise ValueError(f"unsupported fleet setup_kwargs: {sorted(kw)}")
+
+    tb = Testbed.build(
+        rtt=rtt, cal=cal, telemetry=telemetry, tracing=tracing,
+        server_workers=server_workers, vfs_locking=True,
+    )
+    sim = tb.sim
+    proxied = setup not in ("nfs-v3", "nfs-v4")
+    secure = setup in _SUITES
+
+    # -- per-client identities, accounts, and the shared policy ------------
+    rng = Drbg(session_seed)
+    names = [f"c{i}" for i in range(clients)]
+    hosts = [tb.add_client(n) for n in names]
+    if secure:
+        owners = [
+            Account(f"grid{i:02d}", FLEET_UID_BASE + i, FLEET_UID_BASE + i)
+            for i in range(clients)
+        ]
+    else:
+        owners = [FILE_ACCOUNT] * clients
+
+    server_proxy = None
+    client_cfgs: List[Optional[SecurityConfig]] = [None] * clients
+    if proxied:
+        gridmap = Gridmap(unmapped=UnmappedPolicy.DENY)
+        server_cfg = None
+        if secure:
+            suite = _SUITES[setup]
+            ca = CertificateAuthority(
+                CA_DN, rng=rng.fork("ca"), key_bits=1024, now=sim.now
+            )
+            host_id = ca.issue_identity(
+                SERVER_DN, rng=rng.fork("host"), key_bits=1024, now=sim.now
+            )
+            server_cfg = SecurityConfig.for_session(
+                host_id, [ca.certificate], suite, fast_ciphers=True,
+                rng=rng.fork("server-tls"),
+            )
+            for i in range(clients):
+                dn = _client_dn(i)
+                user = ca.issue_identity(
+                    dn, rng=rng.fork(f"user{i}"), key_bits=1024, now=sim.now
+                )
+                client_cfgs[i] = SecurityConfig.for_session(
+                    user, [ca.certificate], suite, fast_ciphers=True,
+                    rng=rng.fork(f"client-tls{i}"),
+                )
+                gridmap.add(dn, owners[i].name)
+                tb.server_accounts.add(owners[i])
+        else:
+            gridmap.add(USER_DN, FILE_ACCOUNT.name)
+        if FILE_ACCOUNT.name not in tb.server_accounts:
+            tb.server_accounts.add(FILE_ACCOUNT)
+        server_proxy = SgfsServerProxy(
+            sim, tb.server, SERVER_PROXY_PORT, NFS_PORT,
+            accounts=tb.server_accounts, gridmap=gridmap, fs=tb.fs,
+            security=server_cfg, cost=cal.proxy_cost, account="proxy",
+            blocking=True, enable_acls=True,
+            session_identity=None if secure else USER_DN,
+            acl_disk=tb.server_disk,
+        )
+        server_proxy.start()
+
+    # -- per-client namespaces and workload preparation --------------------
+    # Subdirectories are created out of band (setup scripts run as root
+    # server-side), then chowned to the session owner, so every client's
+    # dataset is isolated while living in one shared export.
+    workloads = []
+    takes_index = bool(inspect.signature(workload_factory).parameters)
+    root_fid = tb.fs.root.fileid
+    for i, name in enumerate(names):
+        node = tb.fs.mkdir(root_fid, name, ROOT_CRED)
+        tb.fs.setattr(node.fileid, ROOT_CRED, uid=owners[i].uid, gid=owners[i].gid)
+        workload = workload_factory(i) if takes_index else workload_factory()
+        scoped = _ScopedTestbed(tb, _ScopedFs(tb.fs, node))
+        if hasattr(workload, "prepare"):
+            workload.prepare(scoped)
+        workloads.append((workload, node))
+
+    # -- faults -------------------------------------------------------------
+    plan = None
+    fault_spec = resolve_fault_preset(faults)
+    if fault_spec is not None:
+        plan = FaultPlan(sim, fault_spec, seed=fault_seed)
+        plan.install(tb.net)
+        handlers = {"server": (tb.crash_nfs_server, tb.restart_nfs_server)}
+        if server_proxy is not None and hasattr(server_proxy, "crash"):
+            handlers["server-proxy"] = (server_proxy.crash, server_proxy.restart)
+        plan.schedule(handlers)
+
+    # -- client processes ---------------------------------------------------
+    t0 = sim.now
+    results: List[Optional[FleetClientResult]] = [None] * clients
+    errors: List[BaseException] = []
+    done = Channel(sim, name="fleet-done")
+
+    def client_proc(i: int):
+        host, name = hosts[i], names[i]
+        workload, node = workloads[i]
+        try:
+            if stagger and i:
+                yield sim.timeout(stagger * i)
+            start = sim.now
+            root_fh = FileHandle(tb.fs.fsid, node.fileid, node.generation)
+            if proxied:
+                cfg = client_cfgs[i]
+
+                def upstream_factory(cfg=cfg, host=host):
+                    sock = yield from host.connect("server", SERVER_PROXY_PORT)
+                    if cfg is None:
+                        return StreamTransport(sock)
+                    channel = yield from client_handshake(
+                        sim, sock, cfg, cpu=host.cpu, account="proxy"
+                    )
+                    return channel
+
+                proxy = SgfsClientProxy(
+                    sim, host, CLIENT_PROXY_PORT,
+                    upstream_factory=upstream_factory,
+                    cost=cal.proxy_cost, account="proxy",
+                    cache=_cache_config(tb, disk_cache),
+                    disk=_cache_disk(tb, disk_cache),
+                    blocking=True,
+                )
+                yield from proxy.start()
+                cred = AuthSys(uid=JOB_ACCOUNT.uid, gid=JOB_ACCOUNT.gid,
+                               machinename=name)
+                client = yield from _kernel_client(
+                    tb, name, CLIENT_PROXY_PORT, cred, cache_bytes,
+                    host=host, root_fh=root_fh,
+                )
+            else:
+                proxy = None
+                cred = AuthSys(uid=owners[i].uid, gid=owners[i].gid,
+                               machinename=name)
+                client = yield from _kernel_client(
+                    tb, "server", NFS_PORT, cred, cache_bytes,
+                    host=host, root_fh=root_fh,
+                    vers=NFS_V4 if setup == "nfs-v4" else pr.NFS_V3,
+                )
+            if fault_spec is not None:
+                if fault_spec.client_timeo is not None and hasattr(client, "timeo"):
+                    client.timeo = fault_spec.client_timeo
+                if fault_spec.proxy_timeo is not None and proxy is not None:
+                    proxy.upstream_timeo = fault_spec.proxy_timeo
+            mount = Mount(f"{setup}:{name}", tb, client, client_proxy=proxy,
+                          server_proxy=server_proxy)
+            yield from workload.run(mount)
+            yield from mount.finish()
+            results[i] = FleetClientResult(
+                name=name, start=start, end=sim.now,
+                phases=dict(getattr(workload, "results", {})),
+            )
+        except BaseException as exc:  # surfaced after the join below
+            errors.append(exc)
+        finally:
+            done.put(i)
+
+    for i in range(clients):
+        sim.spawn(client_proc(i), name=f"fleet-{names[i]}")
+
+    def supervisor():
+        for _ in range(clients):
+            yield done.get()
+
+    sim.run_until_complete(sim.spawn(supervisor(), name="fleet-join"))
+    if plan is not None:
+        plan.uninstall()
+    if errors:
+        raise errors[0]
+
+    result = FleetResult(
+        setup=setup, clients=clients,
+        makespan=max(r.end for r in results) - t0,
+        per_client=list(results),
+    )
+    result.stats.update(tb.obs.snapshot())
+    if plan is not None:
+        result.stats["faults"] = dict(plan.stats)
+    return result

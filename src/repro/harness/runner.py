@@ -85,6 +85,18 @@ def run_workload(
 ) -> ExperimentResult:
     """Build testbed + mount + run one workload; return the result.
 
+    Units: every duration in the result (``total``, ``phases``,
+    ``writeback_seconds``, ``rtt``) is **virtual seconds** from the
+    deterministic simulation — wall-clock time plays no part — and every
+    size (``writeback_bytes``, byte counters in ``stats``) is bytes.
+
+    Determinism: the run is a pure function of its arguments.  Two
+    calls with identical arguments produce bit-identical results —
+    same virtual times, same stats, same fault schedule — because all
+    randomness flows from seeded DRBG streams and every queue in the
+    stack is FIFO.  For N concurrent clients, see
+    :func:`repro.harness.fleet.run_fleet`.
+
     ``telemetry`` (default on) populates ``result.stats`` from the
     cross-layer metrics registry; ``tracing`` additionally records
     causal spans (``result.tracer`` / ``result.trace_json()``).

@@ -15,7 +15,7 @@ Figure 1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.nfs import protocol as pr
 from repro.nfs.protocol import FileHandle, Fattr3, NfsStatus, Proc
@@ -23,6 +23,7 @@ from repro.rpc.auth import AUTH_SYS, AuthSys
 from repro.rpc.messages import CallMessage
 from repro.rpc.server import CallContext, RpcProgram
 from repro.sim.core import Simulator
+from repro.sim.sync import RwLock
 from repro.vfs.disk import DiskModel
 from repro.vfs.fs import Credentials, Ftype, Inode, Status, VfsError, VirtualFS
 from repro.xdr import Packer, Unpacker, XdrError
@@ -45,16 +46,30 @@ class NfsServerProgram(RpcProgram):
         fs: VirtualFS,
         disk: Optional[DiskModel] = None,
         write_verf: bytes = b"reprosrv",
+        locking: bool = False,
     ):
+        """``locking=True`` turns on per-fileid reader/writer locking:
+        reads take a shared hold, mutations an exclusive one, so
+        concurrent fleet clients hitting the same inode serialize in
+        deterministic FIFO order.  The default (``False``) preserves the
+        single-client fast path — no locks are even allocated — and an
+        *uncontended* acquisition costs zero virtual time either way
+        (see :class:`repro.sim.sync.RwLock`), so single-client runs are
+        bit-identical with locking on or off."""
         self.sim = sim
         self.fs = fs
         self.disk = disk
         self.write_verf = write_verf
+        self.locking = locking
         self.ops = {p: 0 for p in Proc}
         #: fileids with uncommitted (UNSTABLE) data awaiting COMMIT.
         self._dirty: dict[int, int] = {}
         #: fileids whose data is resident in the page cache.
         self._resident: set[int] = set()
+        #: per-fileid reader/writer locks (allocated lazily, locking mode)
+        self._locks: Dict[int, RwLock] = {}
+        if locking:
+            self._c_lock_waits = sim.obs.counter("nfs.server", "lock_waits")
 
     # -- helpers -----------------------------------------------------------
 
@@ -98,6 +113,38 @@ class NfsServerProgram(RpcProgram):
             a = AuthSys.from_opaque(call.cred)
             return Credentials(a.uid, a.gid, tuple(a.gids))
         return Credentials(65534, 65534)  # nobody
+
+    def _acquire(self, fileid: int, write: bool):
+        """Take the per-fileid lock (shared or exclusive); returns the
+        lock held, or ``None`` when locking is off.  Uncontended
+        acquisitions use the synchronous fast path (zero virtual time);
+        contended ones queue FIFO and report their wait through
+        ``nfs.server/lock_waits`` and the ``lock_wait`` histogram."""
+        if not self.locking:
+            return None
+        lock = self._locks.get(fileid)
+        if lock is None:
+            lock = self._locks[fileid] = RwLock(self.sim, name=f"ino{fileid}")
+        free = lock.try_acquire_write() if write else lock.try_acquire_read()
+        if not free:
+            t0 = self.sim.now
+            if self.sim.obs.enabled:
+                self._c_lock_waits.inc()
+            yield lock.acquire_write() if write else lock.acquire_read()
+            if self.sim.obs.enabled:
+                self.sim.obs.histogram("nfs.server", "lock_wait").observe(
+                    self.sim.now - t0
+                )
+        return lock
+
+    @staticmethod
+    def _release(lock: Optional[RwLock], write: bool) -> None:
+        if lock is None:
+            return
+        if write:
+            lock.release_write()
+        else:
+            lock.release_read()
 
     def _disk_write(self, nbytes: int, sync: bool):
         if self.disk is not None:
@@ -180,13 +227,17 @@ class NfsServerProgram(RpcProgram):
     def _op_setattr(self, args: bytes, cred: Credentials):
         fh, sattr = pr.unpack_setattr_args(args)
         node = self._resolve(fh)
-        self.fs.setattr(
-            node.fileid, cred,
-            mode=sattr.mode, uid=sattr.uid, gid=sattr.gid,
-            size=sattr.size, atime=sattr.atime, mtime=sattr.mtime,
-        )
-        yield from self._disk_write(256, sync=True)  # inode update
-        return pr.pack_setattr_res(NfsStatus.OK, self._attr(node))
+        lk = yield from self._acquire(node.fileid, write=True)
+        try:
+            self.fs.setattr(
+                node.fileid, cred,
+                mode=sattr.mode, uid=sattr.uid, gid=sattr.gid,
+                size=sattr.size, atime=sattr.atime, mtime=sattr.mtime,
+            )
+            yield from self._disk_write(256, sync=True)  # inode update
+            return pr.pack_setattr_res(NfsStatus.OK, self._attr(node))
+        finally:
+            self._release(lk, write=True)
 
     def _op_lookup(self, args: bytes, cred: Credentials):
         dir_fh, name = pr.unpack_lookup_args(args)
@@ -222,63 +273,83 @@ class NfsServerProgram(RpcProgram):
     def _op_read(self, args: bytes, cred: Credentials):
         fh, offset, count = pr.unpack_read_args(args)
         node = self._resolve(fh)
-        count = min(count, RTMAX)
-        data, eof = self.fs.read(node.fileid, offset, count, cred)
-        yield from self._disk_read(node.fileid, len(data))
-        return pr.pack_read_res(NfsStatus.OK, self._attr(node), data, eof)
+        lk = yield from self._acquire(node.fileid, write=False)
+        try:
+            count = min(count, RTMAX)
+            data, eof = self.fs.read(node.fileid, offset, count, cred)
+            yield from self._disk_read(node.fileid, len(data))
+            return pr.pack_read_res(NfsStatus.OK, self._attr(node), data, eof)
+        finally:
+            self._release(lk, write=False)
 
     def _op_write(self, args: bytes, cred: Credentials):
         fh, offset, stable, payload = pr.unpack_write_args(args)
         node = self._resolve(fh)
-        if len(payload) > WTMAX:
-            payload = payload[:WTMAX]
-        count = self.fs.write(node.fileid, offset, payload, cred)
-        self._resident.add(node.fileid)
-        if stable == pr.UNSTABLE:
-            self._dirty[node.fileid] = self._dirty.get(node.fileid, 0) + count
-            committed = pr.UNSTABLE
-        else:
-            yield from self._disk_write(count, sync=(stable == pr.FILE_SYNC))
-            committed = stable
-        return pr.pack_write_res(
-            NfsStatus.OK, self._attr(node), count, committed, self.write_verf
-        )
+        lk = yield from self._acquire(node.fileid, write=True)
+        try:
+            if len(payload) > WTMAX:
+                payload = payload[:WTMAX]
+            count = self.fs.write(node.fileid, offset, payload, cred)
+            self._resident.add(node.fileid)
+            if stable == pr.UNSTABLE:
+                self._dirty[node.fileid] = self._dirty.get(node.fileid, 0) + count
+                committed = pr.UNSTABLE
+            else:
+                yield from self._disk_write(count, sync=(stable == pr.FILE_SYNC))
+                committed = stable
+            return pr.pack_write_res(
+                NfsStatus.OK, self._attr(node), count, committed, self.write_verf
+            )
+        finally:
+            self._release(lk, write=True)
 
     def _op_create(self, args: bytes, cred: Credentials):
         dir_fh, name, mode, sattr = pr.unpack_create_args(args)
         d = self._resolve(dir_fh)
-        node = self.fs.create(
-            d.fileid, name, cred,
-            mode=sattr.mode if sattr.mode is not None else 0o644,
-            exclusive=(mode in (pr.GUARDED, pr.EXCLUSIVE)),
-        )
-        if sattr.size is not None:
-            self.fs.setattr(node.fileid, cred, size=sattr.size)
-        yield from self._disk_write(512, sync=True)  # dirent + inode
-        return pr.pack_create_res(
-            NfsStatus.OK, self._handle(node), self._attr(node), self._attr(d)
-        )
+        lk = yield from self._acquire(d.fileid, write=True)
+        try:
+            node = self.fs.create(
+                d.fileid, name, cred,
+                mode=sattr.mode if sattr.mode is not None else 0o644,
+                exclusive=(mode in (pr.GUARDED, pr.EXCLUSIVE)),
+            )
+            if sattr.size is not None:
+                self.fs.setattr(node.fileid, cred, size=sattr.size)
+            yield from self._disk_write(512, sync=True)  # dirent + inode
+            return pr.pack_create_res(
+                NfsStatus.OK, self._handle(node), self._attr(node), self._attr(d)
+            )
+        finally:
+            self._release(lk, write=True)
 
     def _op_mkdir(self, args: bytes, cred: Credentials):
         dir_fh, name, sattr = pr.unpack_mkdir_args(args)
         d = self._resolve(dir_fh)
-        node = self.fs.mkdir(
-            d.fileid, name, cred,
-            mode=sattr.mode if sattr.mode is not None else 0o755,
-        )
-        yield from self._disk_write(512, sync=True)
-        return pr.pack_create_res(
-            NfsStatus.OK, self._handle(node), self._attr(node), self._attr(d)
-        )
+        lk = yield from self._acquire(d.fileid, write=True)
+        try:
+            node = self.fs.mkdir(
+                d.fileid, name, cred,
+                mode=sattr.mode if sattr.mode is not None else 0o755,
+            )
+            yield from self._disk_write(512, sync=True)
+            return pr.pack_create_res(
+                NfsStatus.OK, self._handle(node), self._attr(node), self._attr(d)
+            )
+        finally:
+            self._release(lk, write=True)
 
     def _op_symlink(self, args: bytes, cred: Credentials):
         dir_fh, name, sattr, target = pr.unpack_symlink_args(args)
         d = self._resolve(dir_fh)
-        node = self.fs.symlink(d.fileid, name, target, cred)
-        yield from self._disk_write(512, sync=True)
-        return pr.pack_create_res(
-            NfsStatus.OK, self._handle(node), self._attr(node), self._attr(d)
-        )
+        lk = yield from self._acquire(d.fileid, write=True)
+        try:
+            node = self.fs.symlink(d.fileid, name, target, cred)
+            yield from self._disk_write(512, sync=True)
+            return pr.pack_create_res(
+                NfsStatus.OK, self._handle(node), self._attr(node), self._attr(d)
+            )
+        finally:
+            self._release(lk, write=True)
 
     def _op_mknod(self, args: bytes, cred: Credentials):
         raise VfsError(Status.NOTSUPP, "MKNOD not supported")
@@ -287,38 +358,62 @@ class NfsServerProgram(RpcProgram):
     def _op_remove(self, args: bytes, cred: Credentials):
         dir_fh, name = pr.unpack_remove_args(args)
         d = self._resolve(dir_fh)
-        self.fs.remove(d.fileid, name, cred)
-        yield from self._disk_write(512, sync=True)
-        return pr.pack_remove_res(NfsStatus.OK, self._attr(d))
+        lk = yield from self._acquire(d.fileid, write=True)
+        try:
+            self.fs.remove(d.fileid, name, cred)
+            yield from self._disk_write(512, sync=True)
+            return pr.pack_remove_res(NfsStatus.OK, self._attr(d))
+        finally:
+            self._release(lk, write=True)
 
     def _op_rmdir(self, args: bytes, cred: Credentials):
         dir_fh, name = pr.unpack_remove_args(args)
         d = self._resolve(dir_fh)
-        self.fs.rmdir(d.fileid, name, cred)
-        yield from self._disk_write(512, sync=True)
-        return pr.pack_remove_res(NfsStatus.OK, self._attr(d))
+        lk = yield from self._acquire(d.fileid, write=True)
+        try:
+            self.fs.rmdir(d.fileid, name, cred)
+            yield from self._disk_write(512, sync=True)
+            return pr.pack_remove_res(NfsStatus.OK, self._attr(d))
+        finally:
+            self._release(lk, write=True)
 
     def _op_rename(self, args: bytes, cred: Credentials):
         from_fh, from_name, to_fh, to_name = pr.unpack_rename_args(args)
         fd = self._resolve(from_fh)
         td = self._resolve(to_fh)
-        self.fs.rename(fd.fileid, from_name, td.fileid, to_name, cred)
-        yield from self._disk_write(512, sync=True)
-        return pr.pack_rename_res(NfsStatus.OK, self._attr(fd), self._attr(td))
+        # Both directories exclusively, in fileid order (deadlock-free).
+        dirs = sorted({fd.fileid, td.fileid})
+        lk1 = yield from self._acquire(dirs[0], write=True)
+        lk2 = (yield from self._acquire(dirs[1], write=True)) if len(dirs) > 1 else None
+        try:
+            self.fs.rename(fd.fileid, from_name, td.fileid, to_name, cred)
+            yield from self._disk_write(512, sync=True)
+            return pr.pack_rename_res(NfsStatus.OK, self._attr(fd), self._attr(td))
+        finally:
+            self._release(lk2, write=True)
+            self._release(lk1, write=True)
 
     def _op_link(self, args: bytes, cred: Credentials):
         fh, dir_fh, name = pr.unpack_link_args(args)
         node = self._resolve(fh)
         d = self._resolve(dir_fh)
-        self.fs.link(node.fileid, d.fileid, name, cred)
-        yield from self._disk_write(512, sync=True)
-        return pr.pack_link_res(NfsStatus.OK, self._attr(node), self._attr(d))
+        lk = yield from self._acquire(d.fileid, write=True)
+        try:
+            self.fs.link(node.fileid, d.fileid, name, cred)
+            yield from self._disk_write(512, sync=True)
+            return pr.pack_link_res(NfsStatus.OK, self._attr(node), self._attr(d))
+        finally:
+            self._release(lk, write=True)
 
     def _readdir_common(self, args: bytes, cred: Credentials, plus: bool):
         dir_fh, cookie, _verf, count = pr.unpack_readdir_args(args, plus=plus)
         d = self._resolve(dir_fh)
-        listing = self.fs.readdir(d.fileid, cred)
-        yield from self._disk_read(d.fileid, 32 * len(listing))
+        lk = yield from self._acquire(d.fileid, write=False)
+        try:
+            listing = self.fs.readdir(d.fileid, cred)
+            yield from self._disk_read(d.fileid, 32 * len(listing))
+        finally:
+            self._release(lk, write=False)
         entries = []
         budget = max(count, 512)
         used = 0
@@ -386,7 +481,11 @@ class NfsServerProgram(RpcProgram):
     def _op_commit(self, args: bytes, cred: Credentials):
         fh, _offset, _count = pr.unpack_commit_args(args)
         node = self._resolve(fh)
-        pending = self._dirty.pop(node.fileid, 0)
-        if pending:
-            yield from self._disk_write(pending, sync=False)
-        return pr.pack_commit_res(NfsStatus.OK, self._attr(node), self.write_verf)
+        lk = yield from self._acquire(node.fileid, write=True)
+        try:
+            pending = self._dirty.pop(node.fileid, 0)
+            if pending:
+                yield from self._disk_write(pending, sync=False)
+            return pr.pack_commit_res(NfsStatus.OK, self._attr(node), self.write_verf)
+        finally:
+            self._release(lk, write=True)

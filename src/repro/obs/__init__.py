@@ -24,6 +24,7 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullRegistry,
     Registry,
+    merge_metric,
     percentile,
 )
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanTracer
@@ -35,6 +36,7 @@ __all__ = [
     "Histogram",
     "LATENCY_BOUNDS",
     "NULL_REGISTRY",
+    "merge_metric",
     "NullRegistry",
     "Registry",
     "percentile",

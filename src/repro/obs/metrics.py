@@ -201,6 +201,33 @@ class _NullInstrument:
 NULL_INSTRUMENT = _NullInstrument()
 
 
+def merge_metric(old, new):
+    """Combine two exported metric values reported under one name.
+
+    With a fleet of N clients, every session's caches and proxies report
+    through the same component/metric names; :meth:`Registry.snapshot`
+    used to keep whichever collector ran last (last-writer-wins), which
+    silently under-reported every per-session counter.  Merging rules:
+
+    - two numbers sum (counter semantics — the overwhelming case),
+    - two dicts merge recursively key-by-key (cache-stats triples),
+    - anything else keeps the newer value (non-summable payloads).
+
+    Booleans are deliberately *not* summed: ``True + True == 2`` would
+    corrupt flag-like exports, so flags also keep the newer value.
+    """
+    if isinstance(old, bool) or isinstance(new, bool):
+        return new
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        return old + new
+    if isinstance(old, dict) and isinstance(new, dict):
+        merged = dict(old)
+        for k, v in new.items():
+            merged[k] = merge_metric(merged[k], v) if k in merged else v
+        return merged
+    return new
+
+
 def _key(name: str, labels: Dict[str, object]) -> str:
     if not labels:
         return name
@@ -257,14 +284,23 @@ class Registry:
     # -- export --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Nested ``{component: {metric: value}}`` view of everything."""
+        """Nested ``{component: {metric: value}}`` view of everything.
+
+        Collector outputs that collide on ``component/name`` — e.g. the
+        per-session cache stats of an N-client fleet — are **merged**
+        via :func:`merge_metric` (numbers sum, dicts merge recursively)
+        instead of last-writer-wins.
+        """
         out: Dict[str, Dict[str, object]] = {}
         for (component, key), inst in self._metrics.items():
             out.setdefault(component, {})[key] = inst.export()
         for component, fn in self._collectors:
             bucket = out.setdefault(component, {})
             for name, value in fn().items():
-                bucket[name] = value
+                if name in bucket:
+                    bucket[name] = merge_metric(bucket[name], value)
+                else:
+                    bucket[name] = value
         return {c: dict(sorted(m.items())) for c, m in sorted(out.items())}
 
 

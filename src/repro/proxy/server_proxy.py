@@ -185,14 +185,20 @@ class SgfsServerProxy:
 
     def _session_body(self, sock):
         cpu = self.host.cpu
+        if self.obs.enabled:
+            self.obs.counter("proxy.server", "sessions").inc()
         if self.security is not None:
             try:
                 transport: Transport = yield from server_handshake(
                     self.sim, sock, self.security, cpu=cpu, account=self.account
                 )
             except HandshakeError:
+                if self.obs.enabled:
+                    self.obs.counter("proxy.server", "handshake_failures").inc()
                 sock.abort()
                 return
+            if self.obs.enabled:
+                self.obs.counter("proxy.server", "handshakes").inc()
             identity = effective_identity(transport.peer_identity)
         else:
             transport = StreamTransport(sock)

@@ -2,15 +2,29 @@
 
 Accepts transports (plain sockets, TLS channels, SSH-tunnel exits — the
 acceptor is pluggable), reads CALL records, dispatches to registered
-programs, and writes replies.  Each call is served in its own process so
-multiple outstanding requests from a pipelining client genuinely overlap,
-bounded by an optional per-server concurrency cap (the analog of the
-number of nfsd threads).
+programs, and writes replies.  Two dispatch disciplines:
+
+- **spawn-per-call** (default, ``workers=None``): each call is served in
+  its own process so multiple outstanding requests from a pipelining
+  client genuinely overlap, bounded by a per-server concurrency cap
+  (the analog of the number of nfsd threads);
+- **worker pool** (``workers=N``): every connection (session) gets its
+  own FIFO request queue and a fixed pool of N worker processes drains
+  the queues round-robin across sessions — the service model of a real
+  multi-client nfsd, where fleet clients contend for a finite thread
+  pool and queueing becomes visible.  Queue depth and queue wait are
+  exported through :mod:`repro.obs` (``rpc.server/queue_depth``,
+  ``queue_wait``).
+
+Both disciplines are deterministic: queues are strictly FIFO, the
+round-robin order is the session-arrival order, and all state lives in
+insertion-ordered containers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.obs import NULL_SPAN
 from repro.rpc.costs import EndpointCost, FREE
@@ -30,7 +44,7 @@ from repro.rpc.messages import (
 from repro.rpc.transport import Transport
 from repro.sim.core import Simulator
 from repro.sim.cpu import CPU
-from repro.sim.sync import Semaphore
+from repro.sim.sync import Channel, Semaphore
 
 
 class RpcProgram:
@@ -84,7 +98,18 @@ class RpcServer:
         max_inflight: int = 64,
         name: str = "rpc-server",
         drc: Optional[DuplicateRequestCache] = None,
+        workers: Optional[int] = None,
     ):
+        """``workers=None`` (default) serves each call in its own
+        process, capped at ``max_inflight`` concurrent calls.
+
+        ``workers=N`` switches to the worker-pool discipline: incoming
+        calls queue per session (per accepted transport) and N worker
+        processes drain the session queues round-robin — one request
+        from the session at the head of the rotation, which then moves
+        to the back.  ``max_inflight`` is ignored in this mode (the pool
+        size is the concurrency cap).
+        """
         self.sim = sim
         self.cpu = cpu
         self.cost = cost
@@ -101,6 +126,17 @@ class RpcServer:
         self._inflight = Semaphore(sim, max_inflight, name=f"{name}.inflight")
         self.drc = drc if drc is not None else DuplicateRequestCache(sim, name=name)
         self._transports: list = []
+        # -- worker-pool state (workers=N mode only) -----------------------
+        self.workers = workers
+        #: per-session FIFO of (record, enqueued_at); insertion-ordered
+        self._session_q: Dict[Transport, Deque[Tuple[bytes, float]]] = {}
+        #: round-robin rotation of sessions with pending requests
+        self._rr: Deque[Transport] = deque()
+        self._rr_members: set = set()  # membership only, never iterated
+        #: one token per queued request; workers block on get()
+        self._work = Channel(sim, name=f"{name}.work")
+        self._pending = 0
+        self._workers_started = False
 
     # -- registration ------------------------------------------------------
 
@@ -155,70 +191,129 @@ class RpcServer:
                     return
                 if record is None:
                     return
-                self.sim.spawn(
-                    self._serve_call(transport, record), name=f"{self.name}.call"
-                )
+                if self.workers is None:
+                    self.sim.spawn(
+                        self._serve_call(transport, record), name=f"{self.name}.call"
+                    )
+                else:
+                    self._enqueue(transport, record)
         finally:
             if transport in self._transports:
                 self._transports.remove(transport)
+            # Drop an exhausted session's (empty) queue; a queue with
+            # pending work stays until the workers drain it.
+            q = self._session_q.get(transport)
+            if q is not None and not q:
+                del self._session_q[transport]
+
+    # -- worker-pool discipline --------------------------------------------
+
+    def _enqueue(self, transport: Transport, record: bytes) -> None:
+        """Queue one request on its session and post a work token."""
+        if not self._workers_started:
+            for i in range(self.workers):
+                self.sim.spawn(self._worker(), name=f"{self.name}.worker{i}")
+            self._workers_started = True
+        q = self._session_q.get(transport)
+        if q is None:
+            q = self._session_q[transport] = deque()
+        q.append((record, self.sim.now))
+        if transport not in self._rr_members:
+            self._rr.append(transport)
+            self._rr_members.add(transport)
+        self._pending += 1
+        if self.obs.enabled:
+            self.obs.histogram(
+                "rpc.server", "queue_depth", server=self.name
+            ).observe(self._pending)
+            self.obs.gauge(
+                "rpc.server", "sessions_queued", server=self.name
+            ).set(len(self._rr))
+        self._work.put(None)
+
+    def _worker(self):
+        """One pool worker: take the next session in the rotation, serve
+        one of its requests, rotate it to the back."""
+        while True:
+            yield self._work.get()
+            transport = self._rr.popleft()
+            q = self._session_q[transport]
+            record, enqueued_at = q.popleft()
+            if q:
+                self._rr.append(transport)  # fair rotation
+            else:
+                self._rr_members.discard(transport)
+                if transport not in self._transports:
+                    del self._session_q[transport]
+            self._pending -= 1
+            if self.obs.enabled:
+                self.obs.histogram(
+                    "rpc.server", "queue_wait", server=self.name
+                ).observe(self.sim.now - enqueued_at)
+            yield from self._handle_record(transport, record)
+
+    # -- per-call ----------------------------------------------------------
 
     def _serve_call(self, transport: Transport, record: bytes):
         yield self._inflight.acquire()
         try:
-            if self.obs.enabled:
-                self._c_calls.inc()
-                self._c_bytes_in.inc(len(record))
-                start = self.sim.now
-            if self.cpu is not None:
-                yield from self.cpu.consume(self.cost.cost(len(record)), self.account)
-            try:
-                call = CallMessage.decode(record)
-            except Exception:
-                return  # undecodable header: drop, like a real server
-            program = self._programs.get((call.prog, call.vers))
-            key = None
-            if program is not None and call.proc in program.non_idempotent:
-                key = drc_key(call)
-                state, value = self.drc.check(key)
-                if state == WAIT:
-                    cached = yield value
-                    if cached is not None:
-                        self._send_silently(transport, cached)
-                        return
-                    # Original execution aborted; we were promoted to
-                    # run the call ourselves (entry stays in-progress).
-                elif state == REPLAY:
-                    self._send_silently(transport, value)
-                    return
-            with self.tracer.span(
-                "rpc.serve", cat="rpc", server=self.name,
-                prog=call.prog, proc=call.proc,
-            ) if self.tracer.enabled else NULL_SPAN:
-                try:
-                    reply = yield from self._dispatch(transport, call)
-                except BaseException:
-                    if key is not None:
-                        self.drc.abort(key)
-                    raise
-                if self.cpu is not None:
-                    yield from self.cpu.consume(
-                        self.cost.cost(len(reply.results)), self.account
-                    )
-            if self.obs.enabled:
-                self._c_bytes_out.inc(len(reply.results))
-                self.obs.histogram(
-                    "rpc.server", "service_time", server=self.name, proc=call.proc
-                ).observe(self.sim.now - start)
-            encoded = reply.encode()
-            if key is not None:
-                self.drc.complete(key, encoded)
-            try:
-                transport.send_record(encoded)
-            except Exception:
-                return  # peer went away while we processed
-            self.calls_served += 1
+            yield from self._handle_record(transport, record)
         finally:
             self._inflight.release()
+
+    def _handle_record(self, transport: Transport, record: bytes):
+        if self.obs.enabled:
+            self._c_calls.inc()
+            self._c_bytes_in.inc(len(record))
+            start = self.sim.now
+        if self.cpu is not None:
+            yield from self.cpu.consume(self.cost.cost(len(record)), self.account)
+        try:
+            call = CallMessage.decode(record)
+        except Exception:
+            return  # undecodable header: drop, like a real server
+        program = self._programs.get((call.prog, call.vers))
+        key = None
+        if program is not None and call.proc in program.non_idempotent:
+            key = drc_key(call)
+            state, value = self.drc.check(key)
+            if state == WAIT:
+                cached = yield value
+                if cached is not None:
+                    self._send_silently(transport, cached)
+                    return
+                # Original execution aborted; we were promoted to
+                # run the call ourselves (entry stays in-progress).
+            elif state == REPLAY:
+                self._send_silently(transport, value)
+                return
+        with self.tracer.span(
+            "rpc.serve", cat="rpc", server=self.name,
+            prog=call.prog, proc=call.proc,
+        ) if self.tracer.enabled else NULL_SPAN:
+            try:
+                reply = yield from self._dispatch(transport, call)
+            except BaseException:
+                if key is not None:
+                    self.drc.abort(key)
+                raise
+            if self.cpu is not None:
+                yield from self.cpu.consume(
+                    self.cost.cost(len(reply.results)), self.account
+                )
+        if self.obs.enabled:
+            self._c_bytes_out.inc(len(reply.results))
+            self.obs.histogram(
+                "rpc.server", "service_time", server=self.name, proc=call.proc
+            ).observe(self.sim.now - start)
+        encoded = reply.encode()
+        if key is not None:
+            self.drc.complete(key, encoded)
+        try:
+            transport.send_record(encoded)
+        except Exception:
+            return  # peer went away while we processed
+        self.calls_served += 1
 
     @staticmethod
     def _send_silently(transport: Transport, record: bytes) -> None:

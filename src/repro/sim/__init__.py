@@ -21,7 +21,7 @@ a pure function of its inputs.
 
 from repro.sim.core import Event, Simulator, SimError, Interrupt
 from repro.sim.process import Process, ProcessDied
-from repro.sim.sync import Channel, Store, Semaphore, Gate
+from repro.sim.sync import Channel, Store, Semaphore, RwLock, Gate
 from repro.sim.cpu import CPU, CpuLedger
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "Channel",
     "Store",
     "Semaphore",
+    "RwLock",
     "Gate",
     "CPU",
     "CpuLedger",

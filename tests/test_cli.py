@@ -84,3 +84,27 @@ def test_figure_fig4_smoke():
 def test_requires_a_command():
     with pytest.raises(SystemExit):
         run_cli()
+
+
+def test_run_fleet_with_stats_json(tmp_path):
+    import json
+
+    stats_file = tmp_path / "fleet.json"
+    code, text = run_cli(
+        "run", "--workload", "iozone", "--setup", "nfs-v3",
+        "--clients", "3", "--stagger-ms", "1",
+        "--stats-json", str(stats_file),
+    )
+    assert code == 0
+    assert "3-client fleet" in text
+    assert "makespan" in text and "c2" in text
+    stats = json.loads(stats_file.read_text())
+    assert "rpc.server" in stats and "nfs.cache" in stats
+
+
+def test_run_fleet_rejects_single_session_setup():
+    code, text = run_cli(
+        "run", "--workload", "iozone", "--setup", "sfs", "--clients", "2",
+    )
+    assert code == 2
+    assert "single-session" in text

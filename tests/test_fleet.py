@@ -1,0 +1,95 @@
+"""Scale-out fleet harness: determinism, isolation, worker-pool server."""
+
+import pytest
+
+from repro.harness import run_fleet
+from repro.workloads.iozone import IOzoneReadReread
+
+FS = 64 * 1024
+
+
+def _iozone():
+    return IOzoneReadReread(file_size=FS)
+
+
+def _fingerprint(result):
+    return (
+        result.makespan,
+        [(c.name, c.start, c.end, sorted(c.phases.items())) for c in result.per_client],
+        result.stats,
+    )
+
+
+def test_eight_client_fleet_bit_identical():
+    a = run_fleet("sgfs-sha", _iozone, clients=8)
+    b = run_fleet("sgfs-sha", _iozone, clients=8)
+    assert _fingerprint(a) == _fingerprint(b)
+    assert a.clients == 8 and len(a.per_client) == 8
+
+
+def test_eight_client_fleet_bit_identical_under_lossy_faults():
+    kw = dict(clients=8, rtt=0.04, faults="lossy-wan", fault_seed="fleet-ci")
+    a = run_fleet("sgfs-sha", _iozone, **kw)
+    b = run_fleet("sgfs-sha", _iozone, **kw)
+    assert _fingerprint(a) == _fingerprint(b)
+    assert a.stats["faults"]["dropped"] > 0
+
+
+def test_fleet_makespan_and_stagger():
+    sync = run_fleet("nfs-v3", _iozone, clients=4)
+    assert all(c.start == 0.0 for c in sync.per_client)
+    assert sync.makespan == max(c.end for c in sync.per_client)
+
+    staggered = run_fleet("nfs-v3", _iozone, clients=4, stagger=0.5)
+    starts = [c.start for c in staggered.per_client]
+    assert starts == [0.0, 0.5, 1.0, 1.5]
+    assert staggered.makespan > sync.makespan
+
+
+def test_fleet_per_session_enforcement_and_metrics():
+    r = run_fleet("sgfs-aes", _iozone, clients=3)
+    ps = r.stats["proxy.server"]
+    # One TLS session per client, all authorized through the gridmap.
+    assert ps["sessions"] == 3
+    assert ps["handshakes"] == 3
+    assert ps.get("handshake_failures", 0) == 0
+    assert ps["granted"] > 0 and ps["denied"] == 0
+    # Worker-pool queueing is visible once multiple sessions contend.
+    assert any(k.startswith("queue_depth") for k in r.stats["rpc.server"])
+
+
+def test_fleet_merges_per_session_cache_stats():
+    solo = run_fleet("nfs-v3", _iozone, clients=1)
+    duo = run_fleet("nfs-v3", _iozone, clients=2)
+    # Identical per-client workloads: merged per-session counters double.
+    solo_hits = solo.stats["nfs.cache"]["page"]["hits"]
+    duo_hits = duo.stats["nfs.cache"]["page"]["hits"]
+    assert solo_hits > 0
+    assert duo_hits == 2 * solo_hits
+
+
+def test_fleet_throughput_scales_and_contends():
+    one = run_fleet("nfs-v3", _iozone, clients=1)
+    four = run_fleet("nfs-v3", _iozone, clients=4)
+    # More clients move more aggregate bytes per virtual second...
+    assert four.aggregate_throughput(2 * FS) > one.aggregate_throughput(2 * FS)
+    # ...but each client individually slows down under contention.
+    assert four.mean_client_seconds > one.mean_client_seconds
+
+
+def test_fleet_rejects_single_session_designs():
+    with pytest.raises(ValueError):
+        run_fleet("sfs", _iozone, clients=2)
+    with pytest.raises(ValueError):
+        run_fleet("gfs-ssh", _iozone, clients=2)
+    with pytest.raises(ValueError):
+        run_fleet("nfs-v3", _iozone, clients=0)
+
+
+def test_fleet_single_client_matches_spawn_per_call_dispatch():
+    """The worker-pool discipline must not change single-session
+    virtual-time results (queueing only matters under contention)."""
+    pooled = run_fleet("nfs-v3", _iozone, clients=1, server_workers=8)
+    legacy = run_fleet("nfs-v3", _iozone, clients=1, server_workers=None)
+    assert pooled.makespan == legacy.makespan
+    assert pooled.per_client[0].phases == legacy.per_client[0].phases

@@ -37,9 +37,9 @@ WAN_RTT = 0.080
 #: label -> (total.hex(), writeback.hex(), snapshot sha256 sans "sim").
 GOLDEN = {
     "lan-gfs": ("0x1.587f0540471d1p-5", "0x0.0p+0",
-                "b68b266ebd7e2b274db27dcb7b92a394f478e66a093ec6656962106096eaef06"),
+                "0eb98feed7bf20100b2669b13b5069bf61fedd6e273e3b21b47195075fddaadb"),
     "lan-gfs-ssh": ("0x1.ebf6972ae74dap-3", "0x0.0p+0",
-                    "80d13afb5709ffa7acf33c92996395f8f02a8c082d9dc8c243d4f562884bb115"),
+                    "4daf30889a80b0b491e4a27b7406083f678c1bad49d065b16aab8b09f4217e3f"),
     "lan-nfs-v3": ("0x1.3b3084cf7f7c0p-6", "0x0.0p+0",
                    "72020243c19f6c9c3585bd61a12e1b9074a36ae4e827d95915b6fe70bb9fcb48"),
     "lan-nfs-v4": ("0x1.767a1650648d6p-6", "0x0.0p+0",
@@ -47,17 +47,17 @@ GOLDEN = {
     "lan-sfs": ("0x1.d0d9137b33b14p-5", "0x0.0p+0",
                 "b3b03ca2724df9c42ca13d87ffba83608b2a84d525129b22d2932fcd615468a7"),
     "lan-sgfs": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
-                 "78f3e823bbbd9c08139e4f4f272793159e8bab1dd7cc24d439d51a0477c59dea"),
+                 "915da2382c36c9ddd332dc8ad3a36f5ac811dd975ab638d5dfafc0fd83d6d063"),
     "lan-sgfs-aes": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
-                     "78f3e823bbbd9c08139e4f4f272793159e8bab1dd7cc24d439d51a0477c59dea"),
+                     "915da2382c36c9ddd332dc8ad3a36f5ac811dd975ab638d5dfafc0fd83d6d063"),
     "lan-sgfs-rc": ("0x1.85f7038585342p-5", "0x0.0p+0",
-                    "6442ed7d535d19b4e3957632e4b9c9ad9b7c3ce4f866e190efd3879dc31fe8f7"),
+                    "d3af31af458652f7760a2b71fe3afcf1c079c69b1b04bcfaa2597d00c5c60bf0"),
     "lan-sgfs-sha": ("0x1.73028e2835f84p-5", "0x0.0p+0",
-                     "b2b33710eb9cbef5492471290fe36db8b5ad5f32e70aeffe8f9591093e2fa2be"),
+                     "0fee88c364c4394042dd7e3c28ca273d0096eae981cc3aad090e21bee9e42ffd"),
     "wan-gfs": ("0x1.a45d91c39bd36p+0", "0x0.0p+0",
-                "dda382503bc66b092a60170f35891db47e4691a701a9aaabedbc86267737a4f6"),
+                "08a89bcf27f9fec3fd49e22fbdfb8b9f4fe45da3191b5c962a055c438743e66b"),
     "wan-gfs-ssh": ("0x1.000717872956ep+1", "0x0.0p+0",
-                    "1591593ed358eb6836f947b7ed9aafb8b1a9f67a7cc99778c66da25fe1d1f928"),
+                    "ee42d7f56929db4f282ae11736ece69767b2cf280ef1e9271238f64b95c8b43f"),
     "wan-nfs-v3": ("0x1.f417d00c6496ap-1", "0x0.0p+0",
                    "7ecc6b4069b98453098a581cbf8fa7f641ef5c6151799f2db66dc5ec4ddc84b0"),
     "wan-nfs-v4": ("0x1.f5fde87e88beep-1", "0x0.0p+0",
@@ -65,13 +65,13 @@ GOLDEN = {
     "wan-sfs": ("0x1.044957f80294ap+0", "0x0.0p+0",
                 "950cb9a92e775d5ee90a18a4d9f42295d68b33b18bccba62da0bd3bd7a432a91"),
     "wan-sgfs": ("0x1.a9162ab729484p+0", "0x0.0p+0",
-                 "845e51e9728e30f2773b41e44ed3889c988f232555ffe500bf2f3efa9be55dbb"),
+                 "004d35865116f567d9832a6f36787a4c3e4470ffeb269b6aba5d987307ce167a"),
     "wan-sgfs-aes": ("0x1.a9162ab729484p+0", "0x0.0p+0",
-                     "845e51e9728e30f2773b41e44ed3889c988f232555ffe500bf2f3efa9be55dbb"),
+                     "004d35865116f567d9832a6f36787a4c3e4470ffeb269b6aba5d987307ce167a"),
     "wan-sgfs-rc": ("0x1.a5c951b5c5c52p+0", "0x0.0p+0",
-                    "1302287a3f4273ee44ddb06542874e9778746c5abd0fe1664c06389603eb295c"),
+                    "4ab17bc26cea2fda544596fc011db83c6b8550eb926b7996f5a262e640cb9fe1"),
     "wan-sgfs-sha": ("0x1.a531ae0adb48cp+0", "0x0.0p+0",
-                     "a032d2ce17f33be0d39883835ebfcf537cc8afb04ef4d9d01f91ce687d077949"),
+                     "92fb88a4687203041662c6cce25501d82d3fed1517d124df977a84a8ead259e5"),
 }
 
 

@@ -387,3 +387,29 @@ def test_cli_trace_writes_chrome_json(tmp_path):
     xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
     assert xs and {"ts", "dur", "pid", "tid", "name", "cat"} <= set(xs[0])
     assert "perfetto" in out.getvalue()
+
+
+def test_merge_metric_rules():
+    from repro.obs import merge_metric
+
+    assert merge_metric(2, 3) == 5
+    assert merge_metric(1.5, 2) == 3.5
+    # flags keep the newer value, never sum
+    assert merge_metric(True, True) is True
+    assert merge_metric(3, True) is True
+    # dicts merge recursively
+    assert merge_metric(
+        {"hits": 1, "inner": {"a": 2}}, {"hits": 4, "inner": {"a": 3, "b": 1}}
+    ) == {"hits": 5, "inner": {"a": 5, "b": 1}}
+    # non-summable payloads keep the newer value
+    assert merge_metric("x", "y") == "y"
+
+
+def test_registry_snapshot_merges_colliding_collectors():
+    """N per-session collectors reporting the same names must sum, not
+    last-writer-win (the fleet regression this guards)."""
+    reg = Registry()
+    for hits in (3, 4):
+        reg.add_collector("nfs.cache", lambda hits=hits: {"hits": hits})
+    snap = reg.snapshot()
+    assert snap["nfs.cache"]["hits"] == 7

@@ -236,3 +236,96 @@ def test_gate_reclose():
     sim.call_later(1.0, gate.open)
     sim.run()
     assert waited == [1.0]
+
+
+# -- RwLock -----------------------------------------------------------------
+
+
+def test_rwlock_shared_readers_exclusive_writer():
+    from repro.sim import RwLock
+
+    sim = Simulator()
+    lock = RwLock(sim)
+    assert lock.try_acquire_read()
+    assert lock.try_acquire_read()
+    assert lock.readers == 2
+    assert not lock.try_acquire_write()
+    lock.release_read()
+    lock.release_read()
+    assert lock.try_acquire_write()
+    assert lock.write_locked
+    assert not lock.try_acquire_read()
+    lock.release_write()
+    assert lock.try_acquire_read()
+
+
+def test_rwlock_fifo_no_reader_barging():
+    """A reader arriving after a queued writer waits behind it."""
+    from repro.sim import RwLock
+
+    sim = Simulator()
+    lock = RwLock(sim)
+    order = []
+
+    def reader(name, t):
+        yield sim.timeout(t)
+        if not lock.try_acquire_read():
+            yield lock.acquire_read()
+        order.append((name, sim.now))
+        yield sim.timeout(1.0)
+        lock.release_read()
+
+    def writer(name, t):
+        yield sim.timeout(t)
+        if not lock.try_acquire_write():
+            yield lock.acquire_write()
+        order.append((name, sim.now))
+        yield sim.timeout(1.0)
+        lock.release_write()
+
+    sim.spawn(reader("r1", 0.0))
+    sim.spawn(writer("w", 0.1))   # queues behind r1
+    sim.spawn(reader("r2", 0.2))  # queues behind w, not alongside r1
+    sim.run()
+    assert order == [("r1", 0.0), ("w", 1.0), ("r2", 2.0)]
+    assert lock.wait_count == 2
+
+
+def test_rwlock_grants_reader_run_after_writer():
+    """Consecutive queued readers are admitted together."""
+    from repro.sim import RwLock
+
+    sim = Simulator()
+    lock = RwLock(sim)
+    order = []
+
+    def writer():
+        assert lock.try_acquire_write()
+        yield sim.timeout(1.0)
+        lock.release_write()
+
+    def reader(name):
+        yield sim.timeout(0.5)
+        if not lock.try_acquire_read():
+            yield lock.acquire_read()
+        order.append((name, sim.now))
+        yield sim.timeout(1.0)
+        lock.release_read()
+
+    sim.spawn(writer())
+    sim.spawn(reader("a"))
+    sim.spawn(reader("b"))
+    sim.run()
+    # Both readers enter together the moment the writer releases.
+    assert order == [("a", 1.0), ("b", 1.0)]
+
+
+def test_rwlock_release_while_free_raises():
+    from repro.sim import RwLock
+
+    sim = Simulator()
+    lock = RwLock(sim)
+    with pytest.raises(SimError):
+        lock.release_read()
+    with pytest.raises(SimError):
+        lock.release_write()
