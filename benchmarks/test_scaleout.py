@@ -107,6 +107,45 @@ def test_per_client_latency_grows_under_load(curves):
         assert c[16]["per_client_mean"] > c[1]["per_client_mean"], setup
 
 
+def test_profile_attributes_flattening_to_crypto():
+    """ISSUE 6 acceptance: on the 8-client sgfs-aes scale-out scenario
+    the profiler must attribute the majority of server-side CPU to
+    crypto, with concrete percentages — the computed explanation for
+    why the AES curve flattens in the table above."""
+    r = run_fleet(
+        "sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE),
+        clients=8, cal=FAT_LAN, profile=True,
+    )
+    report = r.profile
+    server = report["cpu"]["server"]
+    print("\n=== 8-client sgfs-aes server CPU attribution ===")
+    print(f"busy {server['busy_pct_of_makespan']:.1f}% of makespan; "
+          f"crypto {server['crypto_pct_of_busy']:.1f}% of busy "
+          f"({server['crypto_pct_of_makespan']:.1f}% of makespan)")
+    for key, row in sorted(server["accounts"].items(),
+                           key=lambda kv: -kv[1]["seconds"]):
+        print(f"  {key:42s} {row['seconds']:.6f}s {row['pct_of_busy']:5.1f}%")
+    # The server is the bottleneck host and crypto dominates its CPU.
+    assert server["crypto_pct_of_busy"] > 50.0
+    assert server["crypto_seconds"] > 0.0
+    # Crypto sub-accounts are individually attributed (hierarchical keys).
+    assert any("/seal:" in k or "/handshake" in k for k in server["accounts"])
+    # The fleet report carries per-client sections for all 8 members.
+    assert set(report["clients"]) >= {f"c{i}" for i in range(8)}
+
+
+def test_profile_report_byte_identical_same_seed():
+    from repro.obs.profile import report_json
+
+    kw = dict(clients=8, cal=FAT_LAN, profile=True)
+    a = run_fleet("sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE), **kw)
+    b = run_fleet("sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE), **kw)
+    assert report_json(a.profile) == report_json(b.profile)
+    from repro.obs.profile import collapsed_stacks
+
+    assert collapsed_stacks(a.tracer) == collapsed_stacks(b.tracer)
+
+
 def test_fleet_bit_identical_same_seed():
     kw = dict(clients=8, cal=FAT_LAN)
     a = run_fleet("sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE), **kw)

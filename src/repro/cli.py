@@ -13,9 +13,20 @@ Commands:
 - ``stats`` — run with telemetry and print the cross-layer metrics
   registry snapshot (``--json`` for machine-readable output),
 - ``trace`` — run with span tracing and write a Chrome-trace JSON file
-  loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+  loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing,
+- ``profile`` — run with full profiling (telemetry + tracing + resource
+  occupancy recording) and print the bottleneck-attribution report:
+  CPU busy/crypto percentages per host, link occupancy, lock waits,
+  RPC queue depth, and the virtual-time critical path.  ``--clients N``
+  profiles an N-client fleet; ``--flame FILE`` writes a collapsed-stack
+  flame graph (flamegraph.pl / speedscope compatible); ``--json FILE``
+  writes the full report as JSON,
+- ``bench-diff`` — compare two stats/perf JSON snapshots (e.g. a fresh
+  ``BENCH_PERF.json`` against the committed one) and report per-metric
+  regression verdicts; exits non-zero only if something regressed.
 
-``stats`` and ``trace`` accept either a bare setup name (``sgfs``) or a
+``stats``, ``trace`` and ``profile`` accept either a bare setup name
+(``sgfs``) or a
 preset: an optional ``lan-``/``wan-`` prefix (LAN = 0 RTT, WAN = 40 ms)
 and an optional ``-cache`` suffix enabling the proxy disk cache, e.g.
 ``wan-sgfs-cache`` or ``lan-nfs`` (``nfs`` aliases ``nfs-v3``).
@@ -120,6 +131,56 @@ def _parser() -> argparse.ArgumentParser:
                          help="override the preset's RTT (milliseconds)")
     trace_p.add_argument("--out", default="trace.json",
                          help="output file (default: trace.json)")
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run with full profiling and print the bottleneck-"
+             "attribution report (virtual-time critical path, CPU/link/"
+             "lock/queue utilization)",
+    )
+    prof_p.add_argument("setup",
+                        help="setup or preset, e.g. sgfs-aes, lan-nfs, "
+                             "wan-sgfs-cache")
+    prof_p.add_argument("workload", choices=sorted(WORKLOAD_RUNNERS))
+    prof_p.add_argument("--rtt-ms", type=float, default=None,
+                        help="override the preset's RTT (milliseconds)")
+    prof_p.add_argument("--clients", type=int, default=1,
+                        help="profile an N-client concurrent fleet "
+                             "(default: 1 = single session)")
+    prof_p.add_argument("--file-size", type=int, default=None,
+                        help="iozone file size in bytes (default: the "
+                             "workload's own default)")
+    prof_p.add_argument("--window", type=float, default=None,
+                        help="utilization-timeline bucket width in virtual "
+                             "seconds (default: makespan/20)")
+    prof_p.add_argument("--top", type=int, default=10,
+                        help="rows per ranked report section (default: 10)")
+    prof_p.add_argument("--flame", default=None, metavar="FILE",
+                        help="write a collapsed-stack flame graph "
+                             "(flamegraph.pl / speedscope 'collapsed' input)")
+    prof_p.add_argument("--json", dest="json_out", default=None, metavar="FILE",
+                        help="write the full attribution report to FILE as "
+                             "JSON (deterministic: same seed => same bytes)")
+
+    bd_p = sub.add_parser(
+        "bench-diff",
+        help="compare two stats/perf JSON snapshots; exit non-zero on "
+             "regression",
+    )
+    bd_p.add_argument("baseline", help="baseline JSON file")
+    bd_p.add_argument("current", help="current JSON file to judge")
+    bd_p.add_argument("--tolerance", type=float, default=0.05,
+                      help="relative change treated as noise "
+                           "(default: 0.05 = 5%%)")
+    bd_p.add_argument("--only", action="append", default=[], metavar="GLOB",
+                      help="compare only dotted paths matching GLOB "
+                           "(repeatable)")
+    bd_p.add_argument("--ignore", action="append", default=[], metavar="GLOB",
+                      help="skip dotted paths matching GLOB (repeatable)")
+    bd_p.add_argument("--json", action="store_true",
+                      help="emit the diff as JSON")
+    bd_p.add_argument("--show-ok", action="store_true",
+                      help="also list metrics within tolerance")
     return parser
 
 
@@ -380,6 +441,97 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_profile(args, out) -> int:
+    from repro.obs.profile import collapsed_stacks, format_report, report_json
+
+    try:
+        setup, rtt, setup_kwargs = resolve_preset(args.setup)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.rtt_ms is not None:
+        rtt = args.rtt_ms / 1000.0
+    profile_opts = {"top": args.top}
+    if args.window is not None:
+        profile_opts["window"] = args.window
+
+    if args.clients > 1:
+        from repro.harness import run_fleet
+        from repro.workloads.iozone import IOzoneReadReread
+        from repro.workloads.mab import ModifiedAndrewBenchmark
+        from repro.workloads.postmark import PostMark
+        from repro.workloads.seismic import Seismic
+
+        iozone_kw = {}
+        if args.file_size is not None:
+            iozone_kw["file_size"] = args.file_size
+        factories = {
+            "iozone": lambda: IOzoneReadReread(**iozone_kw),
+            "postmark": lambda: PostMark(None),
+            "mab": ModifiedAndrewBenchmark,
+            "seismic": lambda: Seismic(None),
+        }
+        try:
+            result = run_fleet(
+                setup, factories[args.workload], clients=args.clients,
+                rtt=rtt, setup_kwargs=setup_kwargs, profile=profile_opts,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    else:
+        runner = WORKLOAD_RUNNERS[args.workload]
+        run_kw = {}
+        if args.workload == "iozone" and args.file_size is not None:
+            run_kw["file_size"] = args.file_size
+        result = runner(setup, rtt=rtt, setup_kwargs=setup_kwargs,
+                        profile=profile_opts, **run_kw)
+
+    report = result.profile
+    print(format_report(report), file=out)
+    if args.flame:
+        try:
+            with open(args.flame, "w", encoding="utf-8") as fh:
+                fh.write(collapsed_stacks(result.tracer))
+        except OSError as exc:
+            print(f"error: cannot write {args.flame}: {exc}", file=out)
+            return 2
+        print(f"wrote {args.flame} (collapsed stacks; feed to flamegraph.pl "
+              f"or speedscope)", file=out)
+    if args.json_out:
+        try:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                fh.write(report_json(report))
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json_out}: {exc}", file=out)
+            return 2
+        print(f"wrote {args.json_out}", file=out)
+    return 0
+
+
+def _cmd_bench_diff(args, out) -> int:
+    from repro.obs.benchdiff import (
+        bench_diff, diff_json, format_diff, has_regression,
+    )
+
+    docs = []
+    for path in (args.baseline, args.current):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                docs.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=out)
+            return 2
+    entries = bench_diff(docs[0], docs[1], tolerance=args.tolerance,
+                         only=args.only, ignore=args.ignore)
+    if args.json:
+        print(json.dumps(diff_json(entries), indent=2), file=out)
+    else:
+        print(format_diff(entries, show_ok=args.show_ok), file=out)
+    return 1 if has_regression(entries) else 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = _parser().parse_args(argv)
@@ -397,6 +549,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_stats(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
+    if args.command == "bench-diff":
+        return _cmd_bench_diff(args, out)
     return 2  # pragma: no cover
 
 

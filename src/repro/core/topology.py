@@ -67,6 +67,7 @@ class Testbed:
         tracing: bool = False,
         server_workers: Optional[int] = None,
         vfs_locking: bool = False,
+        profile: bool = False,
     ) -> "Testbed":
         """Create the §6.1 topology.
 
@@ -88,14 +89,24 @@ class Testbed:
         fleet clients serialize correctly.  Both knobs are no-ops for
         single-client runs (uncontended acquisitions cost zero virtual
         time), so the eight golden setups are unaffected.
+
+        ``profile=True`` arms the bottleneck-attribution layer
+        (:mod:`repro.obs.profile`): it forces telemetry *and* tracing on
+        and additionally records per-direction link occupancy intervals
+        and RPC worker-queue depth timelines.  Like the other
+        observability knobs it consumes no virtual time.
         """
+        if profile:
+            telemetry = tracing = True
         obs = Registry() if telemetry or tracing else NULL_REGISTRY
         sim = Simulator(obs=obs)
+        sim.profile = profile
         if tracing:
             sim.tracer = SpanTracer(
                 clock=lambda: sim.now, current_track=lambda: sim.current
             )
         net = Network(sim)
+        net.record_occupancy = profile
         client = Host(sim, net, "client")
         server = Host(sim, net, "server")
         router = DelayRouter(sim, net, "router", one_way_delay=rtt / 2.0)

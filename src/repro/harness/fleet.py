@@ -109,6 +109,13 @@ class FleetResult:
     makespan: float
     per_client: List[FleetClientResult] = field(default_factory=list)
     stats: Dict[str, object] = field(default_factory=dict)
+    #: fleet-wide bottleneck-attribution report (profile=True runs);
+    #: its ``clients`` section breaks span self-time down per member
+    profile: Optional[Dict[str, object]] = None
+    #: the span tracer when the run was traced/profiled — client tracks
+    #: are namespace-prefixed (``c0:...``), so Chrome-trace and flame
+    #: exports keep the N clients apart
+    tracer: Optional[object] = None
 
     def aggregate_throughput(self, bytes_per_client: int) -> float:
         """Fleet-wide rate in bytes per virtual second, given how many
@@ -165,6 +172,7 @@ def run_fleet(
     setup_kwargs: Optional[dict] = None,
     telemetry: bool = True,
     tracing: bool = False,
+    profile: bool = False,
     faults=None,
     fault_seed: str = "faults",
     server_workers: Optional[int] = 8,
@@ -189,6 +197,11 @@ def run_fleet(
     Returns a :class:`FleetResult`; all reported times are virtual
     seconds.  Two calls with identical arguments produce bit-identical
     results (same ``makespan``, ``per_client``, and ``stats``).
+
+    ``profile=True`` (or a dict of ``build_report`` keyword arguments)
+    attaches the fleet-wide bottleneck-attribution report to
+    ``result.profile`` and the namespaced span tracer to
+    ``result.tracer``; neither affects virtual-time results.
     """
     if clients < 1:
         raise ValueError("fleet needs at least one client")
@@ -202,9 +215,11 @@ def run_fleet(
     if kw:
         raise ValueError(f"unsupported fleet setup_kwargs: {sorted(kw)}")
 
+    if profile:
+        telemetry = tracing = True
     tb = Testbed.build(
         rtt=rtt, cal=cal, telemetry=telemetry, tracing=tracing,
-        server_workers=server_workers, vfs_locking=True,
+        server_workers=server_workers, vfs_locking=True, profile=profile,
     )
     sim = tb.sim
     proxied = setup not in ("nfs-v3", "nfs-v4")
@@ -360,7 +375,10 @@ def run_fleet(
             done.put(i)
 
     for i in range(clients):
-        sim.spawn(client_proc(i), name=f"fleet-{names[i]}")
+        proc = sim.spawn(client_proc(i), name=f"fleet-{names[i]}")
+        # Namespace the client's span tracks: every process spawned
+        # inside the subtree inherits this via sim.current.
+        proc.trace_ns = names[i]
 
     def supervisor():
         for _ in range(clients):
@@ -380,4 +398,13 @@ def run_fleet(
     result.stats.update(tb.obs.snapshot())
     if plan is not None:
         result.stats["faults"] = dict(plan.stats)
+    if tracing:
+        result.tracer = tb.tracer
+    if profile:
+        from repro.obs.profile import build_report
+
+        kwargs = profile if isinstance(profile, dict) else {}
+        result.profile = build_report(
+            tb, t0=t0, t_end=max(r.end for r in results), **kwargs
+        )
     return result

@@ -47,6 +47,9 @@ class ExperimentResult:
     stats: Dict[str, object] = field(default_factory=dict)
     #: the testbed's span tracer when the run was traced (tracing=True)
     tracer: Optional[object] = None
+    #: bottleneck-attribution report (repro.obs.profile) when the run
+    #: was profiled (profile=True)
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def total_with_writeback(self) -> float:
@@ -80,6 +83,7 @@ def run_workload(
     cpu_window: float = 5.0,
     telemetry: bool = True,
     tracing: bool = False,
+    profile: bool = False,
     faults=None,
     fault_seed: str = "faults",
 ) -> ExperimentResult:
@@ -100,7 +104,12 @@ def run_workload(
     ``telemetry`` (default on) populates ``result.stats`` from the
     cross-layer metrics registry; ``tracing`` additionally records
     causal spans (``result.tracer`` / ``result.trace_json()``).
-    Neither affects virtual-time results.
+    ``profile=True`` implies both and attaches the bottleneck
+    attribution report (``result.profile``, see
+    :func:`repro.obs.profile.build_report`); passing a dict instead of
+    ``True`` forwards it as keyword arguments to ``build_report``
+    (e.g. ``profile={"window": 2.0, "top": 5}``).  None of the three
+    affects virtual-time results.
 
     ``faults`` turns the network adversarial: a preset name from
     :data:`repro.faults.FAULT_PRESETS` (e.g. ``"lossy-wan"``) or a
@@ -124,7 +133,10 @@ def run_workload(
             merged = dict(preset_kwargs)
             merged.update(setup_kwargs or {})
             setup_kwargs = merged
-    tb = Testbed.build(rtt=rtt, cal=cal, telemetry=telemetry, tracing=tracing)
+    if profile:
+        telemetry = tracing = True
+    tb = Testbed.build(rtt=rtt, cal=cal, telemetry=telemetry, tracing=tracing,
+                       profile=profile)
     workload = workload_factory()
     if prepare is not None:
         prepare(tb)
@@ -193,6 +205,11 @@ def run_workload(
             }
     if tracing:
         result.tracer = tb.tracer
+    if profile:
+        from repro.obs.profile import build_report
+
+        kwargs = profile if isinstance(profile, dict) else {}
+        result.profile = build_report(tb, t0=0.0, t_end=t_end, **kwargs)
     return result
 
 

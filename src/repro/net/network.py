@@ -36,6 +36,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.core import Simulator
+from repro.sim.cpu import CpuLedger
 from repro.sim.sync import Semaphore
 from repro.net.errors import NetError, NoRoute
 
@@ -109,6 +110,12 @@ class Network:
         self._c_loopback = None
         #: Installed FaultPlan (repro.faults), or None for a clean network.
         self.fault_plan = None
+        #: Profiling: when True, every transmission records its busy
+        #: interval into ``link_ledger`` under the directed key
+        #: ``"src->dst"``, giving the profiler time-bucketed link
+        #: occupancy (the same query machinery as CPU utilization).
+        self.record_occupancy = False
+        self.link_ledger = CpuLedger()
 
     def _metrics_for(self, link: Link) -> tuple:
         """Per-link instruments (bytes, busy-seconds, queue-delay),
@@ -305,6 +312,10 @@ class Network:
                     tx = link.transmit_time(nbytes)
                     if record:
                         g_busy.add(tx)
+                        if self.record_occupancy:
+                            self.link_ledger.record(
+                                f"{u}->{v}", sim.now, sim.now + tx
+                            )
                     yield sim.timeout(tx)
             finally:
                 lock.release()
@@ -390,6 +401,8 @@ class _Delivery:
             h_queue.observe(0.0)  # try_acquire succeeded: no queueing
             if not self.cut:
                 g_busy.add(tx)
+                if net.record_occupancy:
+                    net.link_ledger.record(f"{u}->{v}", sim.now, sim.now + tx)
         if not self.cut:
             self.state = _TX_DONE
             sim.timeout(tx).add_callback(self)

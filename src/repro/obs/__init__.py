@@ -27,6 +27,22 @@ from repro.obs.metrics import (
     merge_metric,
     percentile,
 )
+from repro.obs.benchdiff import (
+    DiffEntry,
+    bench_diff,
+    diff_json,
+    flatten,
+    format_diff,
+    has_regression,
+)
+from repro.obs.profile import (
+    build_report,
+    collapsed_stacks,
+    critical_path,
+    format_report,
+    report_json,
+    self_segments,
+)
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanTracer
 
 __all__ = [
@@ -44,4 +60,16 @@ __all__ = [
     "NullTracer",
     "Span",
     "SpanTracer",
+    "DiffEntry",
+    "bench_diff",
+    "diff_json",
+    "flatten",
+    "format_diff",
+    "has_regression",
+    "build_report",
+    "collapsed_stacks",
+    "critical_path",
+    "format_report",
+    "report_json",
+    "self_segments",
 ]

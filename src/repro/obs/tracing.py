@@ -127,13 +127,14 @@ class SpanTracer:
         self._stacks: Dict[int, list] = {}
         self._tids: Dict[int, int] = {}
         self._tid_names: Dict[int, str] = {}
+        self._tid_ns: Dict[int, Optional[str]] = {}
 
     # -- recording -----------------------------------------------------
 
     def _track(self) -> tuple:
         owner = self.current_track()
         if owner is None:
-            key, label = 0, "main"
+            key, label, ns = 0, "main", None
         else:
             key = getattr(owner, "trace_key", None)
             if key is None:
@@ -143,10 +144,17 @@ class SpanTracer:
                 except (AttributeError, TypeError):
                     key = id(owner)  # unstampable owner: best effort
             label = getattr(owner, "name", "proc") or "proc"
+            # Fleet runs stamp client subtrees with a trace namespace so
+            # N clients' identically-named processes export as distinct
+            # "c0:proc" / "c1:proc" tracks instead of colliding.
+            ns = getattr(owner, "trace_ns", None)
+            if ns:
+                label = f"{ns}:{label}"
         tid = self._tids.get(key)
         if tid is None:
             tid = self._tids[key] = len(self._tids) + 1
             self._tid_names[tid] = label
+            self._tid_ns[tid] = ns
         stack = self._stacks.get(key)
         if stack is None:
             stack = self._stacks[key] = []
@@ -213,6 +221,14 @@ class SpanTracer:
     def categories(self) -> set:
         return {s.cat for s in self.spans if s.end is not None}
 
+    def track_names(self) -> Dict[int, str]:
+        """tid → display label (namespace-prefixed for fleet clients)."""
+        return dict(self._tid_names)
+
+    def track_namespaces(self) -> Dict[int, Optional[str]]:
+        """tid → fleet-client namespace, or None for shared tracks."""
+        return dict(self._tid_ns)
+
 
 class NullTracer(SpanTracer):
     """No-op tracer; ``enabled`` is False for one-check guards."""
@@ -234,6 +250,12 @@ class NullTracer(SpanTracer):
 
     def categories(self) -> set:
         return set()
+
+    def track_names(self) -> Dict[int, str]:
+        return {}
+
+    def track_namespaces(self) -> Dict[int, Optional[str]]:
+        return {}
 
 
 NULL_TRACER = NullTracer()

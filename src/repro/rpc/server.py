@@ -137,6 +137,9 @@ class RpcServer:
         self._work = Channel(sim, name=f"{name}.work")
         self._pending = 0
         self._workers_started = False
+        #: profiling timeline: (virtual_time, pending_depth) sampled at
+        #: every depth change, recorded only when ``sim.profile`` is set.
+        self.queue_timeline: list = []
 
     # -- registration ------------------------------------------------------
 
@@ -222,6 +225,8 @@ class RpcServer:
             self._rr.append(transport)
             self._rr_members.add(transport)
         self._pending += 1
+        if self.sim.profile:
+            self.queue_timeline.append((self.sim.now, self._pending))
         if self.obs.enabled:
             self.obs.histogram(
                 "rpc.server", "queue_depth", server=self.name
@@ -246,6 +251,8 @@ class RpcServer:
                 if transport not in self._transports:
                     del self._session_q[transport]
             self._pending -= 1
+            if self.sim.profile:
+                self.queue_timeline.append((self.sim.now, self._pending))
             if self.obs.enabled:
                 self.obs.histogram(
                     "rpc.server", "queue_wait", server=self.name

@@ -65,12 +65,14 @@ class SfsChannel(Transport):
         self._reader = RecordReader()
         self._eof = False
 
-    def charge(self, nbytes: int):
+    def charge(self, nbytes: int, op: str = "seal"):
         if nbytes <= 0:
             return
         cost = self.suite.cycles_per_byte * nbytes / CPU_HZ
         if self.cpu is not None:
-            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, self.account)
+            # Hierarchical sub-account: rolls up into self.account.
+            account = f"{self.account}/{op}:{self.suite.name}"
+            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, account)
             yield self.sim.timeout(cost * (1.0 - CRYPTO_CPU_FRACTION))
         else:
             yield self.sim.timeout(cost)
@@ -97,7 +99,7 @@ class SfsChannel(Transport):
                 if not constant_time_equal(mac, expect):
                     raise SfsAuthError("SFS record MAC failure")
                 self._dec_seq += 1
-                yield from self.charge(len(record))
+                yield from self.charge(len(record), op="open")
                 return record
             if self._eof:
                 return None
@@ -149,7 +151,7 @@ def sfs_client_channel(
     reader = RecordReader()
     writer = RecordWriter(sock)
     if cpu is not None:
-        yield from cpu.consume(SFS_HANDSHAKE_CPU, account)
+        yield from cpu.consume(SFS_HANDSHAKE_CPU, f"{account}/handshake")
     frame = yield from _read_frame(sock, reader)
     if frame is None:
         raise SfsAuthError("server closed during handshake")
@@ -198,7 +200,7 @@ def sfs_server_channel(
     if frame is None:
         raise SfsAuthError("client closed during handshake")
     if cpu is not None:
-        yield from cpu.consume(SFS_HANDSHAKE_CPU, account)
+        yield from cpu.consume(SFS_HANDSHAKE_CPU, f"{account}/handshake")
     u = Unpacker(frame)
     wrapped = u.unpack_opaque()
     user_key_bytes = u.unpack_opaque()

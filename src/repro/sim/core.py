@@ -228,6 +228,10 @@ class Simulator:
         self.heap_pushes = 0
         self.obs = obs if obs is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: profiling mode: layers that keep extra timelines (link
+        #: occupancy ledgers, RPC queue-depth samples) check this flag
+        #: so ordinary telemetry runs don't pay for them.
+        self.profile = False
         #: the Process currently executing (span causality tracks)
         self.current = None
         self._c_events = self.obs.counter("sim", "events_dispatched")

@@ -27,6 +27,14 @@ class CpuLedger:
 
     Intervals are appended in nondecreasing start order (guaranteed by
     the single-core FIFO CPU), which keeps queries cheap.
+
+    Accounts are **hierarchical**: ``proxy/seal:aes-256-cbc-sha1`` is a
+    sub-account of ``proxy``, and every query for ``proxy`` aggregates
+    its own intervals plus all ``proxy/...`` children.  The crypto
+    layers charge their bulk/handshake work to sub-accounts so the
+    profiler can attribute "how much of the proxy's CPU is cipher work"
+    while the paper's utilization figures (which sample the parent
+    account) are unchanged.
     """
 
     def __init__(self) -> None:
@@ -41,15 +49,29 @@ class CpuLedger:
     def accounts(self) -> Iterator[str]:
         return iter(self._intervals)
 
+    def _keys_for(self, account: str) -> List[str]:
+        """The ledger keys matching an account: itself + sub-accounts."""
+        prefix = account + "/"
+        return [k for k in self._intervals
+                if k == account or k.startswith(prefix)]
+
     def total(self, account: str) -> float:
-        """Total busy seconds charged to an account."""
+        """Total busy seconds charged to an account (children included)."""
+        return sum(e - s
+                   for k in self._keys_for(account)
+                   for s, e in self._intervals[k])
+
+    def total_exact(self, account: str) -> float:
+        """Total busy seconds of one exact ledger key, no children."""
         return sum(e - s for s, e in self._intervals.get(account, ()))
 
-    def busy_in_window(self, account: str, t0: float, t1: float) -> float:
-        """Busy seconds of ``account`` overlapping the window [t0, t1)."""
-        if t1 <= t0:
-            return 0.0
-        ivs = self._intervals.get(account, [])
+    def totals(self) -> Dict[str, float]:
+        """Exact per-key busy totals, sorted by key — the profiler's
+        per-account attribution table."""
+        return {k: self.total_exact(k) for k in sorted(self._intervals)}
+
+    def _busy_one(self, key: str, t0: float, t1: float) -> float:
+        ivs = self._intervals.get(key, [])
         # Find the first interval that could overlap (end > t0).
         starts = [s for s, _ in ivs]
         i = bisect.bisect_left(starts, t0)
@@ -62,6 +84,23 @@ class CpuLedger:
                 break
             busy += max(0.0, min(e, t1) - max(s, t0))
         return busy
+
+    def busy_in_window(self, account: str, t0: float, t1: float) -> float:
+        """Busy seconds of ``account`` (plus sub-accounts) in [t0, t1).
+
+        Summing per-key overlaps is exact because a single FIFO core
+        never runs two accounts at once — intervals across keys are
+        disjoint in time.
+        """
+        if t1 <= t0:
+            return 0.0
+        return sum(self._busy_one(k, t0, t1) for k in self._keys_for(account))
+
+    def busy_all_in_window(self, t0: float, t1: float) -> float:
+        """Busy seconds of the whole core (every account) in [t0, t1)."""
+        if t1 <= t0:
+            return 0.0
+        return sum(self._busy_one(k, t0, t1) for k in self._intervals)
 
     def utilization_series(
         self, account: str, t_end: float, window: float = 5.0

@@ -40,7 +40,7 @@ class Process:
     """A cooperative process executing a generator on the virtual clock."""
 
     __slots__ = ("sim", "name", "generator", "completion", "_waiting_on",
-                 "_started", "trace_key", "_when", "_seq")
+                 "_started", "trace_key", "trace_ns", "_when", "_seq")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -50,6 +50,11 @@ class Process:
         #: tracer; ``id()`` is unusable because CPython reuses addresses
         #: of collected processes, which would merge unrelated tracks).
         self.trace_key: Optional[int] = None
+        #: trace namespace, inherited from the spawning process so an
+        #: entire subtree of a fleet client lands on that client's
+        #: tracks.  ``sim.current`` is only maintained while tracing, so
+        #: outside traced runs this is always None.
+        self.trace_ns: Optional[str] = getattr(sim.current, "trace_ns", None)
         self.name = name or getattr(generator, "__name__", "proc")
         self.generator = generator
         self.completion: Event = sim.event(name=f"completion:{self.name}")

@@ -14,14 +14,34 @@ These are the building blocks the network and RPC layers are made of:
 - :class:`Gate` — a level-triggered condition processes can wait on.
 
 All waiters are served strictly FIFO to keep runs deterministic.
+
+Contention telemetry: :class:`Semaphore` and :class:`RwLock` count the
+acquisitions that had to queue (``wait_count``) and, when the simulator
+carries a live metrics registry, export those counts plus wait-time
+histograms under the ``sync`` component (``sem_waits`` / ``sem_wait`` /
+``rwlock_waits`` / ``rwlock_wait``, labelled by the lock's digit-collapsed
+name so per-fileid lock instances aggregate into one series).  The
+uncontended fast paths are untouched — the bookkeeping runs only when a
+waiter actually queues — and observations never consume virtual time.
 """
 
 from __future__ import annotations
 
+import re
 from collections import deque
 from typing import Any, Deque, Optional
 
 from repro.sim.core import Event, SimError, Simulator
+
+#: Digit runs collapse to ``*`` so high-cardinality lock populations
+#: (per-fileid ``ino42`` RwLocks, per-client ``cpu:c7.core`` semaphores)
+#: export as one bounded metric series per lock *family*.
+_DIGITS = re.compile(r"\d+")
+
+
+def lock_group(name: str) -> str:
+    """The export label for a lock name: digit runs collapsed to ``*``."""
+    return _DIGITS.sub("*", name)
 
 
 class Channel:
@@ -150,7 +170,8 @@ class Semaphore:
             sem.release()
     """
 
-    __slots__ = ("sim", "name", "_acq_name", "capacity", "_in_use", "_waiters")
+    __slots__ = ("sim", "name", "_acq_name", "capacity", "_in_use", "_waiters",
+                 "wait_count", "_h_wait")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "sem"):
         if capacity < 1:
@@ -160,7 +181,11 @@ class Semaphore:
         self._acq_name = f"acq:{name}"
         self.capacity = capacity
         self._in_use = 0
-        self._waiters: Deque[Event] = deque()
+        #: FIFO of (event, enqueued_at)
+        self._waiters: Deque[tuple[Event, float]] = deque()
+        #: total acquisitions that had to queue (contention indicator)
+        self.wait_count = 0
+        self._h_wait = None  # sync/sem_wait histogram, resolved lazily
 
     @property
     def in_use(self) -> int:
@@ -176,7 +201,15 @@ class Semaphore:
             self._in_use += 1
             ev.succeed()
         else:
-            self._waiters.append(ev)
+            self.wait_count += 1
+            obs = self.sim.obs
+            if obs.enabled:
+                if self._h_wait is None:
+                    group = lock_group(self.name)
+                    self._h_wait = obs.histogram("sync", "sem_wait", lock=group)
+                obs.counter("sync", "sem_waits",
+                            lock=lock_group(self.name)).inc()
+            self._waiters.append((ev, self.sim.now))
         return ev
 
     def try_acquire(self) -> bool:
@@ -196,7 +229,10 @@ class Semaphore:
             raise SimError(f"semaphore {self.name!r} released while free")
         if self._waiters:
             # Hand the slot straight to the next waiter.
-            self._waiters.popleft().succeed()
+            ev, enqueued_at = self._waiters.popleft()
+            if self._h_wait is not None:
+                self._h_wait.observe(self.sim.now - enqueued_at)
+            ev.succeed()
         else:
             self._in_use -= 1
 
@@ -226,7 +262,7 @@ class RwLock:
     """
 
     __slots__ = ("sim", "name", "_acq_name", "_readers", "_writer",
-                 "_waiters", "wait_count")
+                 "_waiters", "wait_count", "_h_wait")
 
     def __init__(self, sim: Simulator, name: str = "rwlock"):
         self.sim = sim
@@ -234,10 +270,21 @@ class RwLock:
         self._acq_name = f"acq:{name}"
         self._readers = 0
         self._writer = False
-        #: FIFO of (event, wants_write)
-        self._waiters: Deque[tuple[Event, bool]] = deque()
+        #: FIFO of (event, wants_write, enqueued_at)
+        self._waiters: Deque[tuple[Event, bool, float]] = deque()
         #: total acquisitions that had to queue (contention indicator)
         self.wait_count = 0
+        self._h_wait = None  # sync/rwlock_wait histogram, resolved lazily
+
+    def _note_queued(self) -> None:
+        """Count a queued acquisition and export it to the registry."""
+        self.wait_count += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            group = lock_group(self.name)
+            if self._h_wait is None:
+                self._h_wait = obs.histogram("sync", "rwlock_wait", lock=group)
+            obs.counter("sync", "rwlock_waits", lock=group).inc()
 
     @property
     def readers(self) -> int:
@@ -264,8 +311,8 @@ class RwLock:
             self._readers += 1
             ev.succeed()
         else:
-            self.wait_count += 1
-            self._waiters.append((ev, False))
+            self._note_queued()
+            self._waiters.append((ev, False, self.sim.now))
         return ev
 
     def release_read(self) -> None:
@@ -288,8 +335,8 @@ class RwLock:
             self._writer = True
             ev.succeed()
         else:
-            self.wait_count += 1
-            self._waiters.append((ev, True))
+            self._note_queued()
+            self._waiters.append((ev, True, self.sim.now))
         return ev
 
     def release_write(self) -> None:
@@ -304,14 +351,18 @@ class RwLock:
             return
         if self._waiters[0][1]:  # writer at the head
             if self._readers == 0 and not self._writer:
-                ev, _ = self._waiters.popleft()
+                ev, _, enqueued_at = self._waiters.popleft()
                 self._writer = True
+                if self._h_wait is not None:
+                    self._h_wait.observe(self.sim.now - enqueued_at)
                 ev.succeed()
             return
         # Admit the consecutive readers at the head (arrival order).
         while self._waiters and not self._waiters[0][1]:
-            ev, _ = self._waiters.popleft()
+            ev, _, enqueued_at = self._waiters.popleft()
             self._readers += 1
+            if self._h_wait is not None:
+                self._h_wait.observe(self.sim.now - enqueued_at)
             ev.succeed()
 
 

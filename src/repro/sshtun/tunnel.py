@@ -98,8 +98,10 @@ class _TunnelEndpoint:
         yield from charge_profile(self.sim, self.host.cpu, self.cost, nbytes, self.account)
         crypto = self.suite.cycles_per_byte * nbytes / CPU_HZ
         if crypto > 0:
+            # Cipher work in a sub-account; copy cost stays on the parent.
             yield from self.host.cpu.consume(
-                crypto * CRYPTO_CPU_FRACTION, self.account
+                crypto * CRYPTO_CPU_FRACTION,
+                f"{self.account}/crypto:{self.suite.name}",
             )
             yield self.sim.timeout(crypto * (1.0 - CRYPTO_CPU_FRACTION))
 
@@ -178,7 +180,7 @@ class SshTunnelServer(_TunnelEndpoint):
         nonce_c = yield from self._read_frame(tunnel_sock, reader)
         if nonce_c is None:
             return
-        yield from self.host.cpu.consume(TUNNEL_HANDSHAKE_CPU, self.account)
+        yield from self.host.cpu.consume(TUNNEL_HANDSHAKE_CPU, f"{self.account}/handshake")
         nonce_s = hmac_sha256(self.key, b"server-nonce" + nonce_c)[:16]
         proof = hmac_sha256(self.key, b"confirm" + nonce_c + nonce_s)
         writer.write(nonce_s + proof)
@@ -245,7 +247,7 @@ class SshTunnelClient(_TunnelEndpoint):
             return
         reader = RecordReader()
         writer = RecordWriter(tunnel_sock)
-        yield from self.host.cpu.consume(TUNNEL_HANDSHAKE_CPU, self.account)
+        yield from self.host.cpu.consume(TUNNEL_HANDSHAKE_CPU, f"{self.account}/handshake")
         nonce_c = hmac_sha256(self.key, b"client-nonce")[:16]
         writer.write(nonce_c)
         frame = yield from SshTunnelServer._read_frame(tunnel_sock, reader)

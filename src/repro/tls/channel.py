@@ -170,11 +170,15 @@ class SecureChannel(Transport):
     def _crypto_cost(self, nbytes: int) -> float:
         return self.config.suite.cycles_per_byte * nbytes / CPU_HZ
 
-    def charge(self, nbytes: int):
+    def charge(self, nbytes: int, op: str = "seal"):
         """Process generator: charge bulk-crypto work for nbytes.
 
         Split between user CPU (visible in the utilization figures) and
-        wall latency per CRYPTO_CPU_FRACTION.
+        wall latency per CRYPTO_CPU_FRACTION.  The CPU time lands in the
+        hierarchical sub-account ``<account>/<op>:<suite>`` so the
+        profiler can attribute cipher work per direction; ledger queries
+        for the bare account still include it (see
+        :class:`repro.sim.cpu.CpuLedger`).
         """
         if nbytes <= 0:
             return
@@ -182,7 +186,8 @@ class SecureChannel(Transport):
         if cost <= 0:
             return
         if self.cpu is not None:
-            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, self.account)
+            account = f"{self.account}/{op}:{self.config.suite.name}"
+            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, account)
             yield self.sim.timeout(cost * (1.0 - CRYPTO_CPU_FRACTION))
         else:
             yield self.sim.timeout(cost)
@@ -251,7 +256,7 @@ class SecureChannel(Transport):
                 if self.obs.enabled:
                     self._c_records_in.inc()
                     self._c_bytes_opened.inc(len(payload))
-                yield from self.charge(len(payload))
+                yield from self.charge(len(payload), op="open")
                 return payload
             if ctype == RENEG:
                 self._handle_reneg(payload)
@@ -421,7 +426,7 @@ def _client_handshake(
             reader.feed(chunk)
 
     if cpu is not None:
-        yield from cpu.consume(HANDSHAKE_CPU_SECONDS, account)
+        yield from cpu.consume(HANDSHAKE_CPU_SECONDS, f"{account}/handshake")
 
     client_random = config.rng.randbytes(32)
     hello = Packer()
@@ -514,7 +519,7 @@ def _server_handshake(
 
     client_hello = yield from read_hs()
     if cpu is not None:
-        yield from cpu.consume(HANDSHAKE_CPU_SECONDS, account)
+        yield from cpu.consume(HANDSHAKE_CPU_SECONDS, f"{account}/handshake")
     transcript = client_hello
     u = Unpacker(client_hello)
     client_random = u.unpack_opaque()

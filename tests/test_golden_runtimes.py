@@ -17,6 +17,10 @@ were captured from the pre-fast-path tree with
 
 If one of these fails after a scheduler change, the change altered
 event *ordering*, not just dispatch cost — that is a correctness bug.
+
+Snapshot hashes were last re-captured when the ``sync`` component
+(lock-wait counters/histograms) joined the registry; the ``total`` /
+``writeback`` bit patterns have never moved.
 """
 
 from __future__ import annotations
@@ -37,41 +41,41 @@ WAN_RTT = 0.080
 #: label -> (total.hex(), writeback.hex(), snapshot sha256 sans "sim").
 GOLDEN = {
     "lan-gfs": ("0x1.587f0540471d1p-5", "0x0.0p+0",
-                "0eb98feed7bf20100b2669b13b5069bf61fedd6e273e3b21b47195075fddaadb"),
+                 "28415e07a090206b34f6a5bc455311e2bda03df70dfb65cc8175488873798366"),
     "lan-gfs-ssh": ("0x1.ebf6972ae74dap-3", "0x0.0p+0",
-                    "4daf30889a80b0b491e4a27b7406083f678c1bad49d065b16aab8b09f4217e3f"),
+                     "874c66a114e63ad47ce4dca063fc27a7655904ac9a7d145a7324c9a7c8990521"),
     "lan-nfs-v3": ("0x1.3b3084cf7f7c0p-6", "0x0.0p+0",
-                   "72020243c19f6c9c3585bd61a12e1b9074a36ae4e827d95915b6fe70bb9fcb48"),
+                    "b671a8b011e50414fbcc65ae0f5138f42d460851a224212acea74f9f0815cbdb"),
     "lan-nfs-v4": ("0x1.767a1650648d6p-6", "0x0.0p+0",
-                   "bbe3c87782d8109a1c18c5574da9e6b28a904b3bd977e91e8a2134c912123a05"),
+                    "c74200bf791f2ddb5d12e97fdbe10b412b9318df067a63a59087157794a44782"),
     "lan-sfs": ("0x1.d0d9137b33b14p-5", "0x0.0p+0",
-                "b3b03ca2724df9c42ca13d87ffba83608b2a84d525129b22d2932fcd615468a7"),
+                 "a7f7c3c034bf4643c14fcf02842895bf19975c97ac4961a3b90acd1abe8421f1"),
     "lan-sgfs": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
-                 "915da2382c36c9ddd332dc8ad3a36f5ac811dd975ab638d5dfafc0fd83d6d063"),
+                  "9834a4c0a574b93a5ff32a8dbe105daf75be08943244815e80eda6627f0df39a"),
     "lan-sgfs-aes": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
-                     "915da2382c36c9ddd332dc8ad3a36f5ac811dd975ab638d5dfafc0fd83d6d063"),
+                      "9834a4c0a574b93a5ff32a8dbe105daf75be08943244815e80eda6627f0df39a"),
     "lan-sgfs-rc": ("0x1.85f7038585342p-5", "0x0.0p+0",
-                    "d3af31af458652f7760a2b71fe3afcf1c079c69b1b04bcfaa2597d00c5c60bf0"),
+                     "77e0fe4767cac5b587343859349c042d46bd82f8ffbcff1b345aecf0390953e0"),
     "lan-sgfs-sha": ("0x1.73028e2835f84p-5", "0x0.0p+0",
-                     "0fee88c364c4394042dd7e3c28ca273d0096eae981cc3aad090e21bee9e42ffd"),
+                      "fd556e5c272f331650fba828f7148702674f2ce7a3a51db6b5d202dd282bf1e6"),
     "wan-gfs": ("0x1.a45d91c39bd36p+0", "0x0.0p+0",
-                "08a89bcf27f9fec3fd49e22fbdfb8b9f4fe45da3191b5c962a055c438743e66b"),
+                 "0f64de1056dbf058601558706cda58babf52cc6057199553a2f72e466726ec53"),
     "wan-gfs-ssh": ("0x1.000717872956ep+1", "0x0.0p+0",
-                    "ee42d7f56929db4f282ae11736ece69767b2cf280ef1e9271238f64b95c8b43f"),
+                     "31d510f6023d21bbfb5cbd80652a210ed905149d76d64949d28211be3aa3be3c"),
     "wan-nfs-v3": ("0x1.f417d00c6496ap-1", "0x0.0p+0",
-                   "7ecc6b4069b98453098a581cbf8fa7f641ef5c6151799f2db66dc5ec4ddc84b0"),
+                    "977a1553d7f2fc9099f4956bffce13bd4a2bf1bf877980668b6873b44d1cc8ce"),
     "wan-nfs-v4": ("0x1.f5fde87e88beep-1", "0x0.0p+0",
-                   "675730d2743b4ed99a98ffb9f22dce74017e87c3a4ec4e8447b2ebae339affb8"),
+                    "c317e19ca35373c40c99baed50aebc8a675cd54e5b15ddb4f453270ec79e3490"),
     "wan-sfs": ("0x1.044957f80294ap+0", "0x0.0p+0",
-                "950cb9a92e775d5ee90a18a4d9f42295d68b33b18bccba62da0bd3bd7a432a91"),
+                 "c8599b424e330e61d273131e1ca7ded13ee4d7228f022bb32419db5dda790d0f"),
     "wan-sgfs": ("0x1.a9162ab729484p+0", "0x0.0p+0",
-                 "004d35865116f567d9832a6f36787a4c3e4470ffeb269b6aba5d987307ce167a"),
+                  "07a3acd960bcb4a5a65e825dfa69cfe1b8e00da2940df2aead0573417ecb4cda"),
     "wan-sgfs-aes": ("0x1.a9162ab729484p+0", "0x0.0p+0",
-                     "004d35865116f567d9832a6f36787a4c3e4470ffeb269b6aba5d987307ce167a"),
+                      "07a3acd960bcb4a5a65e825dfa69cfe1b8e00da2940df2aead0573417ecb4cda"),
     "wan-sgfs-rc": ("0x1.a5c951b5c5c52p+0", "0x0.0p+0",
-                    "4ab17bc26cea2fda544596fc011db83c6b8550eb926b7996f5a262e640cb9fe1"),
+                     "ecb97676b1e4accb14ba9e6ce2a7915207a5daa782e4b8c63b1cf5f6ff641e4b"),
     "wan-sgfs-sha": ("0x1.a531ae0adb48cp+0", "0x0.0p+0",
-                     "92fb88a4687203041662c6cce25501d82d3fed1517d124df977a84a8ead259e5"),
+                      "caddfb7053653b1df6bc4c4f94b0852859a7f661c4b147e8eb2c1b14eb75b014"),
 }
 
 

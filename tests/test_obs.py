@@ -75,6 +75,52 @@ def test_histogram_quantiles_clamped_to_observed_range():
     assert h.quantile(0.0) < h.quantile(1.0)
 
 
+def test_percentile_q_zero_boundary_exact():
+    # q=0 and q=1 must hit the extremes exactly even for n=1
+    assert percentile([42.0], 0.0) == 42.0
+    assert percentile([42.0], 1.0) == 42.0
+    with pytest.raises(ValueError):
+        percentile([1.0, 2.0], -0.01)
+
+
+def test_histogram_quantile_empty_is_zero_not_error():
+    # unlike percentile([], q), an empty histogram degrades to 0.0 so
+    # report code can query unpopulated instruments unconditionally
+    h = Histogram()
+    assert h.quantile(0.0) == 0.0
+    assert h.quantile(0.5) == 0.0
+    assert h.quantile(1.0) == 0.0
+    assert h.export() == {"count": 0, "sum": 0.0}
+
+
+def test_histogram_quantile_single_sample_all_q():
+    h = Histogram()
+    h.observe(0.42)
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        assert h.quantile(q) == pytest.approx(0.42)
+
+
+def test_histogram_quantile_out_of_range_raises():
+    h = Histogram()
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError):
+        h.quantile(1.01)
+    # out-of-range raises even on an empty histogram (validation first)
+    with pytest.raises(ValueError):
+        Histogram().quantile(2.0)
+
+
+def test_histogram_quantile_extremes_pin_to_min_max():
+    h = Histogram()
+    for v in (0.002, 0.05, 0.4, 2.0, 80.0):
+        h.observe(v)
+    assert h.quantile(0.0) >= h.min
+    assert h.quantile(1.0) <= h.max
+    assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+
+
 def test_histogram_rejects_bad_bounds():
     with pytest.raises(ValueError):
         Histogram(bounds=(1.0, 1.0))
