@@ -1,0 +1,145 @@
+"""Scale-out benchmark — the server-crypto ceiling, before and after.
+
+Runs pinned sgfs-aes fleet scenarios on the widened (8x) LAN and writes
+``BENCH_SCALEOUT.json``:
+
+- ``base-8c-1core``  — the saturated single-core baseline: 8 clients
+  against one serialized server CPU, aggregate throughput capped by
+  per-session sealing;
+- ``wide-16c-4core`` — 16 clients against a 4-core server with
+  per-session crypto affinity; the headline ``throughput_ratio_vs_base``
+  is the acceptance number (must be >= 3.0);
+- ``resume-8c-4core`` — a reconnect-heavy fleet with session tickets:
+  every reconnect takes the abbreviated handshake, so only the initial
+  connections pay the full RSA exchange.
+
+Every recorded value is virtual-time and therefore deterministic: the
+committed snapshot must match a fresh run bit-for-bit (CI enforces this
+with ``repro bench-diff``), and ``--check`` additionally fails the build
+if the multi-core speedup ever drops below 3x.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaleout.py
+    PYTHONPATH=src python benchmarks/bench_scaleout.py \
+        --out /tmp/BENCH_SCALEOUT.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.harness import run_fleet
+from repro.workloads.iozone import IOzoneReadReread
+
+FILE_SIZE = 128 * 1024  # per client, read + reread
+FAT_LAN = dataclasses.replace(
+    DEFAULT_CALIBRATION, lan_bandwidth=DEFAULT_CALIBRATION.lan_bandwidth * 8
+)
+SUITE = "aes-256-cbc-sha1"
+MIN_RATIO = 3.0
+
+
+def _fleet(clients: int, cores: int, **kw):
+    return run_fleet(
+        "sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE),
+        clients=clients, cal=FAT_LAN, server_cores=cores, **kw,
+    )
+
+
+def _measure(result, clients: int, cores: int) -> dict:
+    tls = result.stats.get("tls", {})
+    return {
+        "clients": clients,
+        "server_cores": cores,
+        "makespan_virtual_seconds": result.makespan,
+        "aggregate_mb_per_sec": round(
+            result.aggregate_throughput(2 * FILE_SIZE) / 1e6, 3
+        ),
+        "mean_client_seconds": result.mean_client_seconds,
+        "tls_full_handshakes": tls.get(
+            f"full_handshakes{{role=server,suite={SUITE}}}", 0
+        ),
+        "tls_resumptions": tls.get(
+            f"resumptions{{role=server,suite={SUITE}}}", 0
+        ),
+    }
+
+
+def run_benchmarks() -> dict:
+    out = {
+        "benchmark": "bench_scaleout",
+        "workload": "iozone-read-reread",
+        "setup": "sgfs-aes",
+        "file_size": FILE_SIZE,
+        "lan_bandwidth_multiplier": 8,
+        "scenarios": {},
+    }
+    base = _fleet(8, 1)
+    out["scenarios"]["base-8c-1core"] = _measure(base, 8, 1)
+    wide = _fleet(16, 4)
+    out["scenarios"]["wide-16c-4core"] = _measure(wide, 16, 4)
+    resume = _fleet(8, 4, session_tickets=True, reconnect_interval=0.01)
+    out["scenarios"]["resume-8c-4core"] = _measure(resume, 8, 4)
+    out["scenarios"]["resume-8c-4core"]["session_tickets"] = True
+    out["scenarios"]["resume-8c-4core"]["reconnect_interval"] = 0.01
+    ratio = (out["scenarios"]["wide-16c-4core"]["aggregate_mb_per_sec"]
+             / out["scenarios"]["base-8c-1core"]["aggregate_mb_per_sec"])
+    out["throughput_ratio_vs_base"] = round(ratio, 3)
+    for label, m in out["scenarios"].items():
+        print(f"  {label:16s} {m['aggregate_mb_per_sec']:8.1f} MB/s  "
+              f"makespan {m['makespan_virtual_seconds']:.5f}s  "
+              f"full_hs={m['tls_full_handshakes']} "
+              f"resumed={m['tls_resumptions']}")
+    print(f"  throughput ratio 16c/4core vs 8c/1core: {ratio:.2f}x")
+    return out
+
+
+def check(result: dict) -> int:
+    failures = []
+    ratio = result["throughput_ratio_vs_base"]
+    if ratio < MIN_RATIO:
+        failures.append(
+            f"multi-core speedup {ratio:.2f}x below the {MIN_RATIO:.1f}x floor"
+        )
+    resume = result["scenarios"]["resume-8c-4core"]
+    if resume["tls_resumptions"] <= 0:
+        failures.append("reconnect-heavy fleet recorded no TLS resumptions")
+    if resume["tls_full_handshakes"] != 8:
+        failures.append(
+            f"expected exactly 8 full handshakes (initial connections), "
+            f"got {resume['tls_full_handshakes']}"
+        )
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if not failures:
+        print(f"OK: {ratio:.2f}x >= {MIN_RATIO:.1f}x, "
+              f"{resume['tls_resumptions']} resumptions")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_SCALEOUT.json",
+                        help="output path (default: BENCH_SCALEOUT.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the multi-core speedup is >= 3x "
+                             "and the reconnect fleet resumed sessions")
+    args = parser.parse_args(argv)
+    print("bench_scaleout (sgfs-aes, fat LAN)")
+    result = run_benchmarks()
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if args.check:
+        return check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

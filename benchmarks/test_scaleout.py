@@ -156,3 +156,83 @@ def test_fleet_bit_identical_same_seed():
             cb.name, cb.start, cb.end, cb.phases
         )
     assert a.stats == b.stats
+
+
+# -- multi-core server: breaking the crypto ceiling ---------------------------
+
+
+def _aes_fleet(clients, cores, **kw):
+    return run_fleet(
+        "sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE),
+        clients=clients, cal=FAT_LAN, server_cores=cores, **kw,
+    )
+
+
+def test_multicore_table():
+    print("\n=== sgfs-aes aggregate MB/s vs clients x server cores ===")
+    counts = (1, 2, 4, 8, 16, 32)
+    cores_list = (1, 2, 4, 8)
+    header = f"{'cores':8s}" + "".join(f"{n:>9d}" for n in counts)
+    print(header)
+    print("-" * len(header))
+    for cores in cores_list:
+        row = []
+        for n in counts:
+            r = _aes_fleet(n, cores)
+            row.append(r.aggregate_throughput(2 * FILE_SIZE) / 1e6)
+        print(f"{cores:<8d}" + "".join(f"{v:>9.1f}" for v in row))
+
+
+def test_four_cores_triple_the_crypto_ceiling():
+    """ISSUE 7 acceptance: a 16-client fleet on a 4-core server must
+    push at least 3x the aggregate throughput of the saturated 8-client
+    single-core baseline -- the crypto ceiling was the serialized server
+    CPU, and multi-core dispatch with per-session affinity breaks it."""
+    base = _aes_fleet(8, 1)
+    wide = _aes_fleet(16, 4)
+    t_base = base.aggregate_throughput(2 * FILE_SIZE)
+    t_wide = wide.aggregate_throughput(2 * FILE_SIZE)
+    print(f"\n8c/1core {t_base / 1e6:.1f} MB/s -> "
+          f"16c/4core {t_wide / 1e6:.1f} MB/s ({t_wide / t_base:.2f}x)")
+    assert t_wide >= 3.0 * t_base
+
+
+def test_multicore_profile_reports_per_core_rows():
+    r = run_fleet(
+        "sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE),
+        clients=16, cal=FAT_LAN, server_cores=4, profile=True,
+    )
+    server = r.profile["cpu"]["server"]
+    assert server["cores"] == 4
+    assert set(server["per_core"]) == {"0", "1", "2", "3"}
+    # Affinity spreads 16 sessions over 4 cores: every core does real
+    # work, none hogs it all.
+    busys = [server["per_core"][k]["busy_seconds"] for k in "0123"]
+    assert min(busys) > 0.25 * max(busys)
+    # busy can exceed one makespan's worth now; per-core never can.
+    for k in "0123":
+        assert server["per_core"][k]["utilization_pct"] <= 100.0
+
+
+def test_multicore_scaleout_bit_identical():
+    a = _aes_fleet(16, 4)
+    b = _aes_fleet(16, 4)
+    assert a.makespan == b.makespan
+    assert a.stats == b.stats
+
+
+def test_resumption_under_reconnect_churn():
+    """ISSUE 7 acceptance: a reconnect-heavy fleet with session tickets
+    resumes sessions instead of repeating the RSA handshake."""
+    r = run_fleet(
+        "sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE),
+        clients=8, cal=FAT_LAN, server_cores=4,
+        session_tickets=True, reconnect_interval=0.01,
+    )
+    tls = r.stats["tls"]
+    suite = "aes-256-cbc-sha1"
+    resumed = tls[f"resumptions{{role=server,suite={suite}}}"]
+    full = tls[f"full_handshakes{{role=server,suite={suite}}}"]
+    print(f"\nreconnect churn: {resumed} resumptions, {full} full handshakes")
+    assert resumed > 0
+    assert full == 8  # only the initial connections pay for RSA

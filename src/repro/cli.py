@@ -89,6 +89,19 @@ def _parser() -> argparse.ArgumentParser:
     run_p.add_argument("--stagger-ms", type=float, default=0.0,
                        help="virtual milliseconds between fleet client "
                             "starts (default: 0 = synchronized)")
+    run_p.add_argument("--server-cores", type=int, default=1,
+                       help="server CPU cores for fleet runs; distinct "
+                            "sessions pin to distinct cores (default: 1)")
+    run_p.add_argument("--session-tickets", action="store_true",
+                       help="enable TLS session tickets so reconnecting "
+                            "fleet clients use abbreviated handshakes")
+    run_p.add_argument("--reconnect-ms", type=float, default=None,
+                       help="cycle each fleet client's upstream session "
+                            "every N virtual milliseconds (exercises "
+                            "resumption)")
+    run_p.add_argument("--batch-records", type=int, default=1,
+                       help="coalesce up to N queued server replies per "
+                            "session into one sealing pass (default: 1)")
     run_p.add_argument("--stats-json", default=None, metavar="FILE",
                        help="write the cross-layer metrics snapshot to "
                             "FILE as JSON")
@@ -147,6 +160,10 @@ def _parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--clients", type=int, default=1,
                         help="profile an N-client concurrent fleet "
                              "(default: 1 = single session)")
+    prof_p.add_argument("--server-cores", type=int, default=1,
+                        help="server CPU cores for fleet profiles; the "
+                             "report gains per-core utilization rows "
+                             "(default: 1)")
     prof_p.add_argument("--file-size", type=int, default=None,
                         help="iozone file size in bytes (default: the "
                              "workload's own default)")
@@ -242,6 +259,11 @@ def _cmd_run_fleet(args, kwargs, out) -> int:
             rtt=args.rtt_ms / 1000.0, stagger=args.stagger_ms / 1000.0,
             setup_kwargs=kwargs or None,
             faults=args.faults, fault_seed=args.fault_seed,
+            server_cores=args.server_cores,
+            session_tickets=args.session_tickets,
+            reconnect_interval=(args.reconnect_ms / 1000.0
+                                if args.reconnect_ms else None),
+            batch_records=args.batch_records,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=out)
@@ -278,6 +300,16 @@ def _cmd_run(args, out) -> int:
         return 2
     if args.clients > 1:
         return _cmd_run_fleet(args, kwargs, out)
+    for flag, active in (
+        ("--server-cores", args.server_cores > 1),
+        ("--session-tickets", args.session_tickets),
+        ("--reconnect-ms", args.reconnect_ms is not None),
+        ("--batch-records", args.batch_records > 1),
+    ):
+        if active:
+            print(f"error: {flag} requires a fleet run (--clients >= 2)",
+                  file=out)
+            return 2
     result = runner(args.setup, rtt=args.rtt_ms / 1000.0, setup_kwargs=kwargs or None,
                     faults=args.faults, fault_seed=args.fault_seed)
     rtt_label = "LAN" if args.rtt_ms == 0 else f"{args.rtt_ms:g}ms RTT"
@@ -475,11 +507,16 @@ def _cmd_profile(args, out) -> int:
             result = run_fleet(
                 setup, factories[args.workload], clients=args.clients,
                 rtt=rtt, setup_kwargs=setup_kwargs, profile=profile_opts,
+                server_cores=args.server_cores,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=out)
             return 2
     else:
+        if args.server_cores > 1:
+            print("error: --server-cores requires a fleet profile "
+                  "(--clients >= 2)", file=out)
+            return 2
         runner = WORKLOAD_RUNNERS[args.workload]
         run_kw = {}
         if args.workload == "iozone" and args.file_size is not None:

@@ -68,6 +68,7 @@ class Testbed:
         server_workers: Optional[int] = None,
         vfs_locking: bool = False,
         profile: bool = False,
+        server_cores: int = 1,
     ) -> "Testbed":
         """Create the §6.1 topology.
 
@@ -90,6 +91,12 @@ class Testbed:
         single-client runs (uncontended acquisitions cost zero virtual
         time), so the eight golden setups are unaffected.
 
+        ``server_cores=N`` gives the server host a deterministic
+        N-core CPU (:class:`repro.sim.cpu.CPU`): independent sessions'
+        crypto and request processing overlap across cores instead of
+        serializing.  The default ``1`` reproduces the paper's 1-vCPU
+        server bit-for-bit.
+
         ``profile=True`` arms the bottleneck-attribution layer
         (:mod:`repro.obs.profile`): it forces telemetry *and* tracing on
         and additionally records per-direction link occupancy intervals
@@ -108,7 +115,7 @@ class Testbed:
         net = Network(sim)
         net.record_occupancy = profile
         client = Host(sim, net, "client")
-        server = Host(sim, net, "server")
+        server = Host(sim, net, "server", cpu_cores=server_cores)
         router = DelayRouter(sim, net, "router", one_way_delay=rtt / 2.0)
         net.connect("client", "router", latency=cal.lan_link_latency,
                     bandwidth=cal.lan_bandwidth)

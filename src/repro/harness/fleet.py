@@ -177,6 +177,10 @@ def run_fleet(
     fault_seed: str = "faults",
     server_workers: Optional[int] = 8,
     session_seed: str = "fleet",
+    server_cores: int = 1,
+    session_tickets: bool = False,
+    reconnect_interval: Optional[float] = None,
+    batch_records: int = 1,
 ) -> FleetResult:
     """Run ``clients`` concurrent workload instances against one server.
 
@@ -202,6 +206,15 @@ def run_fleet(
     attaches the fleet-wide bottleneck-attribution report to
     ``result.profile`` and the namespaced span tracer to
     ``result.tracer``; neither affects virtual-time results.
+
+    Scale-out knobs (all default to the paper's single-core behavior):
+    ``server_cores=N`` gives the server host N deterministic cores, with
+    each secure session's record crypto pinned to one of them;
+    ``session_tickets=True`` turns on TLS session resumption between the
+    proxies; ``reconnect_interval=T`` makes every client cycle its
+    upstream session every T virtual seconds (exercising resumption);
+    ``batch_records=K`` coalesces up to K outbound server-proxy records
+    into one amortized sealing operation.
     """
     if clients < 1:
         raise ValueError("fleet needs at least one client")
@@ -220,6 +233,7 @@ def run_fleet(
     tb = Testbed.build(
         rtt=rtt, cal=cal, telemetry=telemetry, tracing=tracing,
         server_workers=server_workers, vfs_locking=True, profile=profile,
+        server_cores=server_cores,
     )
     sim = tb.sim
     proxied = setup not in ("nfs-v3", "nfs-v4")
@@ -253,6 +267,8 @@ def run_fleet(
             server_cfg = SecurityConfig.for_session(
                 host_id, [ca.certificate], suite, fast_ciphers=True,
                 rng=rng.fork("server-tls"),
+                session_tickets=session_tickets,
+                batch_records=batch_records,
             )
             for i in range(clients):
                 dn = _client_dn(i)
@@ -262,6 +278,7 @@ def run_fleet(
                 client_cfgs[i] = SecurityConfig.for_session(
                     user, [ca.certificate], suite, fast_ciphers=True,
                     rng=rng.fork(f"client-tls{i}"),
+                    session_tickets=session_tickets,
                 )
                 gridmap.add(dn, owners[i].name)
                 tb.server_accounts.add(owners[i])
@@ -315,6 +332,7 @@ def run_fleet(
     def client_proc(i: int):
         host, name = hosts[i], names[i]
         workload, node = workloads[i]
+        cycling = None
         try:
             if stagger and i:
                 yield sim.timeout(stagger * i)
@@ -341,6 +359,20 @@ def run_fleet(
                     blocking=True,
                 )
                 yield from proxy.start()
+                if reconnect_interval:
+                    # Periodic session refresh: tears the upstream TLS
+                    # session down and re-handshakes (abbreviated, when
+                    # tickets are on) until this client's workload ends.
+                    cycling = [True]
+
+                    def cycler(proxy=proxy, live=cycling):
+                        while live[0]:
+                            yield sim.timeout(reconnect_interval)
+                            if not live[0]:
+                                return
+                            yield from proxy.cycle_upstream()
+
+                    sim.spawn(cycler(), name=f"session-cycler:{name}")
                 cred = AuthSys(uid=JOB_ACCOUNT.uid, gid=JOB_ACCOUNT.gid,
                                machinename=name)
                 client = yield from _kernel_client(
@@ -372,6 +404,8 @@ def run_fleet(
         except BaseException as exc:  # surfaced after the join below
             errors.append(exc)
         finally:
+            if cycling is not None:
+                cycling[0] = False
             done.put(i)
 
     for i in range(clients):

@@ -17,18 +17,21 @@ _conn_counter = itertools.count(1)
 class Host:
     """A machine on the simulated network.
 
-    Owns a single-core :class:`~repro.sim.cpu.CPU` (matching the paper's
-    1-vCPU client/server VMs) whose ledger backs the CPU-utilization
-    figures.  ``cpu_speed`` scales all compute charged on this host.
+    Owns a :class:`~repro.sim.cpu.CPU` (single-core by default, matching
+    the paper's 1-vCPU client/server VMs) whose ledger backs the
+    CPU-utilization figures.  ``cpu_speed`` scales all compute charged
+    on this host; ``cpu_cores`` sizes the deterministic multi-core run
+    queue (scale-out servers).
     """
 
     forward_delay = 0.0  # plain hosts add no transit delay
 
-    def __init__(self, sim: Simulator, network: Network, name: str, cpu_speed: float = 1.0):
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 cpu_speed: float = 1.0, cpu_cores: int = 1):
         self.sim = sim
         self.network = network
         self.name = name
-        self.cpu = CPU(sim, name=f"cpu:{name}", speed=cpu_speed)
+        self.cpu = CPU(sim, name=f"cpu:{name}", speed=cpu_speed, cores=cpu_cores)
         self._ports: Dict[int, Listener] = {}
         network.add_node(self)
 

@@ -244,15 +244,18 @@ def build_report(
             }
             for k, v in totals.items()
         }
+        ncores = getattr(cpu, "cores", 1)
         series = []
         t = t0
         while t < t_end:
             hi = min(t + window, t_end)
+            # With N cores the window capacity is N * (hi - t); the
+            # timeline stays 0–100% whatever the core count.
             series.append(
-                [hi, _pct(ledger.busy_all_in_window(t, hi), hi - t)]
+                [hi, _pct(ledger.busy_all_in_window(t, hi), (hi - t) * ncores)]
             )
             t += window
-        cpu_section[name] = {
+        entry = {
             "busy_seconds": busy,
             "busy_pct_of_makespan": _pct(busy, makespan),
             "crypto_seconds": crypto,
@@ -261,6 +264,17 @@ def build_report(
             "accounts": accounts,
             "timeline": series,
         }
+        if ncores > 1:
+            per_core = ledger.busy_by_core(t0, t_end)
+            entry["cores"] = ncores
+            entry["per_core"] = {
+                str(core): {
+                    "busy_seconds": per_core.get(core, 0.0),
+                    "utilization_pct": _pct(per_core.get(core, 0.0), makespan),
+                }
+                for core in range(ncores)
+            }
+        cpu_section[name] = entry
     report["cpu"] = cpu_section
 
     # -- link occupancy -----------------------------------------------------
@@ -363,6 +377,15 @@ def format_report(report: Dict[str, Any], width: int = 72) -> str:
             f"({c['crypto_pct_of_busy']:.1f}% of busy, "
             f"{c['crypto_pct_of_makespan']:.1f}% of makespan)"
         )
+        if c.get("per_core"):
+            lines.append(f"  cores: {c.get('cores', len(c['per_core']))}")
+            for core, v in sorted(
+                c["per_core"].items(), key=lambda kv: int(kv[0])
+            ):
+                lines.append(
+                    f"    core {core:<2} busy {v['busy_seconds']:>10.6f}s "
+                    f"({v['utilization_pct']:.1f}% of makespan)"
+                )
         ranked = sorted(
             c["accounts"].items(), key=lambda kv: (-kv[1]["seconds"], kv[0])
         )

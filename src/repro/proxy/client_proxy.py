@@ -110,6 +110,8 @@ class _CallRouter:
         #: recovery loop replaces the router instead of sending into a
         #: connection nobody reads from anymore
         self._dead: Optional[RpcError] = None
+        #: armed by quiesce(): fires when the pending table empties
+        self._drain_ev: Optional[Event] = None
         sim.spawn(self._pump(), name="cproxy-pump")
 
     def forward(self, call: CallMessage, timeout: Optional[float] = None,
@@ -177,6 +179,8 @@ class _CallRouter:
                 ev = self._pending.pop(reply.xid, None)
                 if ev is not None:
                     ev.succeed(reply)
+                if not self._pending and self._drain_ev is not None:
+                    self._drain_ev.succeed(None)
         except Exception as exc:
             self._fail_all(RpcError(f"upstream transport failed: {exc}"))
             return
@@ -187,6 +191,21 @@ class _CallRouter:
         pending, self._pending = self._pending, {}
         for ev in pending.values():
             ev.fail(err)
+        if self._drain_ev is not None:
+            self._drain_ev.succeed(None)
+            self._drain_ev = None
+
+    def quiesce(self, timeout: float):
+        """Process generator: wait for in-flight calls to finish (bounded).
+
+        Used by graceful session replacement: the retiring connection
+        stays open until its outstanding replies arrive, so cycling a
+        healthy session does not turn live calls into retry storms."""
+        if not self._pending:
+            return
+        self._drain_ev = self.sim.event(name="rt-drain")
+        yield any_of(self.sim, [self._drain_ev, self.sim.timeout(timeout)])
+        self._drain_ev = None
 
 
 class SgfsClientProxy:
@@ -586,6 +605,46 @@ class SgfsClientProxy:
                     old.close()
                 except Exception:
                     pass
+        finally:
+            self._reconnecting = None
+            gate.succeed(None)
+
+    def cycle_upstream(self):
+        """Process generator: proactively tear down and re-establish the
+        upstream session (operator-driven reconnects: proxy restarts,
+        credential rollover, periodic session refresh).
+
+        The new connection handshakes *before* the old one closes, so
+        in-flight calls either complete on the old transport or fail
+        over through their normal retry path.  With session tickets
+        enabled the replacement handshake resumes abbreviated."""
+        if self._reconnecting is not None:
+            yield self._reconnecting
+            return
+        gate = self._reconnecting = self.sim.event(name="cproxy-cycle")
+        try:
+            try:
+                upstream = yield from self.upstream_factory()
+            except Exception:
+                return  # server proxy down; keep the session we have
+            old, self._upstream = self._upstream, upstream
+            old_router, self._router = self._router, _CallRouter(
+                self.sim, upstream, xid_source=self._fwd_xids.__next__
+            )
+            if old_router is not None:
+                # New calls already go to the replacement session; let
+                # in-flight replies land on the old one before closing.
+                yield from old_router.quiesce(timeout=1.0)
+            if old is not None:
+                try:
+                    old.close()
+                except Exception:
+                    pass
+            if old_router is not None:
+                # A locally-closed socket never wakes its own reader, so
+                # the old pump can't fail leftovers itself: anything
+                # still unanswered fails over to the new session now.
+                old_router._fail_all(RpcError("upstream session cycled"))
         finally:
             self._reconnecting = None
             gate.succeed(None)

@@ -22,6 +22,7 @@ exports only to localhost.  For every session it:
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Optional
 
 from repro.gsi.gridmap import Gridmap
@@ -45,7 +46,11 @@ from repro.rpc.messages import (
 )
 from repro.rpc.transport import StreamTransport, Transport
 from repro.sim.core import Simulator
-from repro.tls.channel import HandshakeError, server_handshake
+from repro.tls.channel import (
+    HandshakeError,
+    SessionTicketCache,
+    server_handshake,
+)
 from repro.tls.config import SecurityConfig
 from repro.vfs.fs import VirtualFS
 
@@ -113,6 +118,17 @@ class SgfsServerProxy:
         self._drc = DuplicateRequestCache(sim, name=f"sproxy:{listen_port}")
         #: raw sockets of live sessions, for crash injection
         self._session_socks: list = []
+        #: per-session affinity assignment: session k's record crypto is
+        #: pinned to core k % N of a multi-core host, spreading distinct
+        #: sessions' cipher streams across the pool deterministically.
+        self._session_seq = itertools.count()
+        #: TLS session-ticket cache (resumption); in-memory only — a
+        #: crash flushes it and reconnects fall back to full handshakes.
+        self.tickets: Optional[SessionTicketCache] = None
+        if security is not None and security.session_tickets:
+            self.tickets = SessionTicketCache(
+                sim, rng=security.rng, lifetime=security.ticket_lifetime
+            )
         self.obs = sim.obs
         self.tracer = sim.tracer
         if self.obs.enabled:
@@ -144,6 +160,8 @@ class SgfsServerProxy:
         The DRC and authorization state survive (the reply cache models
         stable storage); clients reconnect and retried calls replay."""
         self.stop()
+        if self.tickets is not None:
+            self.tickets.flush()
         socks, self._session_socks = self._session_socks, []
         for sock in socks:
             try:
@@ -190,7 +208,8 @@ class SgfsServerProxy:
         if self.security is not None:
             try:
                 transport: Transport = yield from server_handshake(
-                    self.sim, sock, self.security, cpu=cpu, account=self.account
+                    self.sim, sock, self.security, cpu=cpu, account=self.account,
+                    ticket_cache=self.tickets,
                 )
             except HandshakeError:
                 if self.obs.enabled:
@@ -199,6 +218,8 @@ class SgfsServerProxy:
                 return
             if self.obs.enabled:
                 self.obs.counter("proxy.server", "handshakes").inc()
+            # Pin this session's record crypto to one core of the pool.
+            transport.affinity = next(self._session_seq)
             identity = effective_identity(transport.peer_identity)
         else:
             transport = StreamTransport(sock)
@@ -275,16 +296,21 @@ class SgfsServerProxy:
         if key is not None:
             self._drc.complete(key, encoded)
         yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
-        if hasattr(transport, "charge"):
-            yield from transport.charge(len(encoded))
-        try:
-            transport.send_record(encoded)
-        except Exception:
-            pass  # peer vanished
+        yield from self._send_reply(transport, encoded)
 
     def _reply_cached(self, transport, cpu, encoded: bytes):
         """Send a DRC-cached reply, charging the usual outbound costs."""
         yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
+        yield from self._send_reply(transport, encoded)
+
+    def _send_reply(self, transport, encoded: bytes):
+        """Outbound path: batched channels queue the record for the
+        coalescing sealer (which charges the amortized seal cost and
+        frees this process immediately); otherwise charge the per-record
+        seal here and send synchronously, as always."""
+        if getattr(transport, "batched", False):
+            transport.queue_record(encoded)
+            return
         if hasattr(transport, "charge"):
             yield from transport.charge(len(encoded))
         try:

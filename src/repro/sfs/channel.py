@@ -46,6 +46,8 @@ class SfsChannel(Transport):
         self.suite = suite
         self.cpu = cpu
         self.account = account
+        #: optional core pin for multi-core CPUs (see repro.sim.cpu.CPU)
+        self.affinity = None
         self.peer_key = peer_key
         half = len(key_block) // 2
         c2s, s2c = key_block[:half], key_block[half:]
@@ -72,7 +74,8 @@ class SfsChannel(Transport):
         if self.cpu is not None:
             # Hierarchical sub-account: rolls up into self.account.
             account = f"{self.account}/{op}:{self.suite.name}"
-            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, account)
+            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, account,
+                                        affinity=self.affinity)
             yield self.sim.timeout(cost * (1.0 - CRYPTO_CPU_FRACTION))
         else:
             yield self.sim.timeout(cost)

@@ -4,29 +4,48 @@ The paper reports the *user CPU time* consumed by the user-level
 proxies/daemons, sampled every 5 seconds during the IOzone run (Figs. 5
 and 6).  To reproduce that, every simulated host owns a :class:`CPU`;
 code that models computation calls ``yield cpu.consume(seconds, account)``
-which (a) serializes compute through the core like a real CPU and (b)
+which (a) serializes compute through a core like a real CPU and (b)
 records the busy interval under the given account name in a
 :class:`CpuLedger`.
 
 The ledger can then answer "what fraction of the window [t, t+5) was
 spent in account 'proxy'?" — exactly the series the paper plots.
+
+Multi-core (``CPU(cores=N)``): the paper's testbed is 1-vCPU VMs, so
+``cores=1`` is the default and reproduces the single-semaphore schedule
+bit-for-bit.  With ``cores=N`` the CPU becomes a deterministic run
+queue served by N cores:
+
+- un-pinned work takes the lowest-numbered idle core, or joins a global
+  FIFO when all cores are busy;
+- pinned work (``consume(..., affinity=k)``) runs on core ``k % N``
+  only, queueing behind that core's other pinned work — how the server
+  proxy keeps each session's cipher stream on one core;
+- when a core frees, it serves whichever eligible waiter (its pinned
+  lane vs. the global queue) enqueued first — stable (ready-time, seq)
+  dispatch, so two same-seed runs schedule identically.
+
+The ledger records which core served each interval; per-core interval
+lists stay sorted (one core runs one thing at a time), keeping windowed
+queries exact under parallelism.
 """
 
 from __future__ import annotations
 
 import bisect
-from collections import defaultdict
-from typing import Dict, Iterator, List, Tuple
+import itertools
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
-from repro.sim.core import SimError, Simulator
-from repro.sim.sync import Semaphore
+from repro.sim.core import Event, SimError, Simulator
+from repro.sim.sync import Semaphore, lock_group
 
 
 class CpuLedger:
-    """Records (start, end) busy intervals per account name.
+    """Records (start, end) busy intervals per account name and core.
 
-    Intervals are appended in nondecreasing start order (guaranteed by
-    the single-core FIFO CPU), which keeps queries cheap.
+    Within one core, intervals are appended in nondecreasing start order
+    (a core runs one activity at a time), which keeps queries cheap.
 
     Accounts are **hierarchical**: ``proxy/seal:aes-256-cbc-sha1`` is a
     sub-account of ``proxy``, and every query for ``proxy`` aggregates
@@ -35,43 +54,71 @@ class CpuLedger:
     profiler can attribute "how much of the proxy's CPU is cipher work"
     while the paper's utilization figures (which sample the parent
     account) are unchanged.
+
+    A parent→children index, updated when an account first records, maps
+    each slash-boundary prefix to the ledger keys beneath it, so
+    hierarchical queries never rescan the whole key space (profiler
+    report generation used to be quadratic in account count).
     """
 
     def __init__(self) -> None:
-        self._intervals: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        #: account -> core id -> interval list (sorted per core)
+        self._intervals: Dict[str, Dict[int, List[Tuple[float, float]]]] = {}
+        #: slash-boundary prefix -> ledger keys at/under it, in
+        #: first-record order (matches the old linear-scan order, so
+        #: float accumulation order — and thus sums — are unchanged)
+        self._children: Dict[str, List[str]] = {}
 
-    def record(self, account: str, start: float, end: float) -> None:
+    def record(self, account: str, start: float, end: float, core: int = 0) -> None:
         if end < start:
             raise SimError(f"negative busy interval for {account!r}")
         if end > start:
-            self._intervals[account].append((start, end))
+            by_core = self._intervals.get(account)
+            if by_core is None:
+                by_core = self._intervals[account] = {}
+                self._index(account)
+            by_core.setdefault(core, []).append((start, end))
+
+    def _index(self, account: str) -> None:
+        """Register a new ledger key under itself and every ``/`` prefix."""
+        self._children.setdefault(account, []).append(account)
+        key = account
+        while True:
+            cut = key.rfind("/")
+            if cut < 0:
+                return
+            key = key[:cut]
+            self._children.setdefault(key, []).append(account)
 
     def accounts(self) -> Iterator[str]:
         return iter(self._intervals)
 
     def _keys_for(self, account: str) -> List[str]:
         """The ledger keys matching an account: itself + sub-accounts."""
-        prefix = account + "/"
-        return [k for k in self._intervals
-                if k == account or k.startswith(prefix)]
+        return self._children.get(account, [])
 
     def total(self, account: str) -> float:
         """Total busy seconds charged to an account (children included)."""
         return sum(e - s
                    for k in self._keys_for(account)
-                   for s, e in self._intervals[k])
+                   for ivs in self._intervals[k].values()
+                   for s, e in ivs)
 
     def total_exact(self, account: str) -> float:
         """Total busy seconds of one exact ledger key, no children."""
-        return sum(e - s for s, e in self._intervals.get(account, ()))
+        by_core = self._intervals.get(account)
+        if not by_core:
+            return 0.0
+        return sum(e - s for ivs in by_core.values() for s, e in ivs)
 
     def totals(self) -> Dict[str, float]:
         """Exact per-key busy totals, sorted by key — the profiler's
         per-account attribution table."""
         return {k: self.total_exact(k) for k in sorted(self._intervals)}
 
-    def _busy_one(self, key: str, t0: float, t1: float) -> float:
-        ivs = self._intervals.get(key, [])
+    @staticmethod
+    def _overlap(ivs: List[Tuple[float, float]], t0: float, t1: float) -> float:
+        """Overlap of a sorted disjoint interval list with [t0, t1)."""
         # Find the first interval that could overlap (end > t0).
         starts = [s for s, _ in ivs]
         i = bisect.bisect_left(starts, t0)
@@ -85,22 +132,45 @@ class CpuLedger:
             busy += max(0.0, min(e, t1) - max(s, t0))
         return busy
 
-    def busy_in_window(self, account: str, t0: float, t1: float) -> float:
-        """Busy seconds of ``account`` (plus sub-accounts) in [t0, t1).
+    def _busy_one(self, key: str, t0: float, t1: float) -> float:
+        by_core = self._intervals.get(key)
+        if not by_core:
+            return 0.0
+        busy = 0.0
+        for ivs in by_core.values():
+            busy += self._overlap(ivs, t0, t1)
+        return busy
 
-        Summing per-key overlaps is exact because a single FIFO core
-        never runs two accounts at once — intervals across keys are
-        disjoint in time.
+    def busy_in_window(self, account: str, t0: float, t1: float) -> float:
+        """Busy core-seconds of ``account`` (plus sub-accounts) in [t0, t1).
+
+        Summing per-(key, core) overlaps is exact because one core never
+        runs two activities at once — intervals within a core are
+        disjoint in time.  With N cores the result can reach
+        ``N * (t1 - t0)``.
         """
         if t1 <= t0:
             return 0.0
         return sum(self._busy_one(k, t0, t1) for k in self._keys_for(account))
 
     def busy_all_in_window(self, t0: float, t1: float) -> float:
-        """Busy seconds of the whole core (every account) in [t0, t1)."""
+        """Busy core-seconds of every account in [t0, t1)."""
         if t1 <= t0:
             return 0.0
         return sum(self._busy_one(k, t0, t1) for k in self._intervals)
+
+    def busy_by_core(self, t0: float, t1: float) -> Dict[int, float]:
+        """Busy seconds per core in [t0, t1) — the profiler's per-core
+        utilization rows.  Only cores that ever recorded appear."""
+        out: Dict[int, float] = {}
+        if t1 <= t0:
+            return out
+        for by_core in self._intervals.values():
+            for core, ivs in by_core.items():
+                busy = self._overlap(ivs, t0, t1)
+                if busy > 0.0:
+                    out[core] = out.get(core, 0.0) + busy
+        return out
 
     def utilization_series(
         self, account: str, t_end: float, window: float = 5.0
@@ -122,39 +192,137 @@ class CpuLedger:
 
 
 class CPU:
-    """A single core that serializes and accounts simulated compute.
+    """One or more cores that serialize and account simulated compute.
 
     ``consume(seconds, account)`` returns a generator suitable for
-    ``yield from`` inside a process: it queues for the core (FIFO),
+    ``yield from`` inside a process: it queues for a core (FIFO),
     holds it for ``seconds`` of virtual time, and logs the busy interval.
 
     A ``speed`` factor scales all durations — a host twice as fast
     executes the same work in half the virtual time — which is how the
     calibration layer expresses different machine classes without
     touching call sites.
+
+    ``cores=1`` (the default) keeps the original single-semaphore
+    discipline and is bit-identical to the historic schedules; see the
+    module docstring for the multi-core dispatch rules.
     """
 
-    def __init__(self, sim: Simulator, name: str = "cpu", speed: float = 1.0):
+    def __init__(self, sim: Simulator, name: str = "cpu", speed: float = 1.0,
+                 cores: int = 1):
         if speed <= 0:
             raise SimError("CPU speed must be positive")
+        if cores < 1:
+            raise SimError("CPU needs at least one core")
         self.sim = sim
         self.name = name
         self.speed = speed
+        self.cores = cores
         self.ledger = CpuLedger()
-        self._core = Semaphore(sim, capacity=1, name=f"{name}.core")
+        #: queued acquisitions (contention indicator, mirrors Semaphore)
+        self.wait_count = 0
+        if cores == 1:
+            self._core = Semaphore(sim, capacity=1, name=f"{name}.core")
+        else:
+            self._acq_name = f"acq:{name}.core"
+            self._busy = [False] * cores
+            #: global FIFO of un-pinned waiters: (event, enqueued_at, seq)
+            self._run_queue: Deque[Tuple[Event, float, int]] = deque()
+            #: per-core FIFO lanes for affinity-pinned waiters
+            self._lanes: List[Deque[Tuple[Event, float, int]]] = [
+                deque() for _ in range(cores)
+            ]
+            #: arrival ticket; with nondecreasing enqueue times this
+            #: totally orders waiters by (ready-time, seq)
+            self._ticket = itertools.count()
+            self._h_wait = None  # sync/sem_wait histogram, resolved lazily
 
-    def consume(self, seconds: float, account: str = "other"):
-        """Generator: occupy the core for ``seconds / speed`` virtual time."""
+    def consume(self, seconds: float, account: str = "other",
+                affinity: Optional[int] = None):
+        """Generator: occupy a core for ``seconds / speed`` virtual time.
+
+        ``affinity`` pins the work to core ``affinity % cores`` (multi-
+        core CPUs only; ignored on a single core), so a session's cipher
+        stream stays on one core while other sessions' work overlaps.
+        """
         if seconds < 0:
             raise SimError(f"negative CPU time: {seconds}")
         scaled = seconds / self.speed
-        yield self._core.acquire()
+        if self.cores == 1:
+            yield self._core.acquire()
+            start = self.sim.now
+            try:
+                yield self.sim.timeout(scaled)
+                self.ledger.record(account, start, self.sim.now)
+            finally:
+                self._core.release()
+            return
+        core = yield self._acquire(affinity)
         start = self.sim.now
         try:
             yield self.sim.timeout(scaled)
-            self.ledger.record(account, start, self.sim.now)
+            self.ledger.record(account, start, self.sim.now, core=core)
         finally:
-            self._core.release()
+            self._release(core)
+
+    # -- multi-core dispatch ------------------------------------------------
+
+    def _acquire(self, affinity: Optional[int]) -> Event:
+        """An event that fires with the granted core's index."""
+        ev = Event(self.sim, self._acq_name)
+        if affinity is not None:
+            core = affinity % self.cores
+            if not self._busy[core]:
+                self._busy[core] = True
+                ev.succeed(core)
+            else:
+                self._note_wait()
+                self._lanes[core].append((ev, self.sim.now, next(self._ticket)))
+        else:
+            core = next(
+                (i for i in range(self.cores) if not self._busy[i]), None
+            )
+            if core is not None:
+                self._busy[core] = True
+                ev.succeed(core)
+            else:
+                self._note_wait()
+                self._run_queue.append((ev, self.sim.now, next(self._ticket)))
+        return ev
+
+    def _release(self, core: int) -> None:
+        """Hand the freed core to the earliest eligible waiter.
+
+        Eligible waiters are the core's own pinned lane and the global
+        run queue; the one that enqueued first (smaller ticket, i.e.
+        earlier (ready-time, seq)) wins — deterministic, no barging.
+        """
+        lane = self._lanes[core]
+        shared = self._run_queue
+        if lane and shared:
+            queue = lane if lane[0][2] <= shared[0][2] else shared
+        elif lane:
+            queue = lane
+        elif shared:
+            queue = shared
+        else:
+            self._busy[core] = False
+            return
+        ev, enqueued_at, _seq = queue.popleft()
+        if self._h_wait is not None:
+            self._h_wait.observe(self.sim.now - enqueued_at)
+        ev.succeed(core)
+
+    def _note_wait(self) -> None:
+        """Count a queued acquisition, mirroring Semaphore's telemetry
+        (same ``sync`` metric family, so fleet dashboards don't fork)."""
+        self.wait_count += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            group = lock_group(f"{self.name}.core")
+            if self._h_wait is None:
+                self._h_wait = obs.histogram("sync", "sem_wait", lock=group)
+            obs.counter("sync", "sem_waits", lock=group).inc()
 
     def busy_total(self, account: str) -> float:
         return self.ledger.total(account)

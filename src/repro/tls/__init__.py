@@ -18,6 +18,7 @@ from repro.tls.config import SecurityConfig
 from repro.tls.dtls import DatagramProtector, DtlsError, protector_pair
 from repro.tls.channel import (
     SecureChannel,
+    SessionTicketCache,
     TlsError,
     HandshakeError,
     IntegrityError,
@@ -28,6 +29,7 @@ from repro.tls.channel import (
 __all__ = [
     "SecurityConfig",
     "SecureChannel",
+    "SessionTicketCache",
     "TlsError",
     "HandshakeError",
     "IntegrityError",

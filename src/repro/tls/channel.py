@@ -39,10 +39,12 @@ from repro.crypto.suites import derive_key_block
 from repro.gsi.certs import Certificate, ValidationError, validate_chain
 from repro.gsi.names import DistinguishedName
 from repro.net.socket import SimSocket
+from repro.rpc.costs import batched_seal_cycles
 from repro.rpc.record import RecordReader, RecordWriter
 from repro.rpc.transport import Transport
 from repro.sim.core import Simulator
 from repro.sim.cpu import CPU
+from repro.sim.sync import Channel, ChannelClosed
 from repro.tls.config import SecurityConfig
 from repro.xdr import Packer, Unpacker
 
@@ -57,6 +59,12 @@ CLOSE_NOTIFY = 5
 #: side (RSA-1024 class, 2007 hardware).  Once per session — negligible
 #: against session lifetime, as §3.2 argues.
 HANDSHAKE_CPU_SECONDS = 0.004
+
+#: CPU seconds per side for an *abbreviated* (session-resumption)
+#: handshake: no RSA at all, just randoms, one PRF expansion, and two
+#: HMACs — an order of magnitude under the full handshake, which is the
+#: entire point of tickets on reconnect-heavy fleets.
+RESUME_CPU_SECONDS = 0.0004
 
 #: Virtual CPU frequency used to convert cycles/byte into seconds; the
 #: paper's testbed is 3.2 GHz Xeon.
@@ -81,6 +89,84 @@ class HandshakeError(TlsError):
 
 class IntegrityError(TlsError):
     """A record failed MAC verification or decryption."""
+
+
+class SessionTicketCache:
+    """Server-side store of resumable sessions, keyed by opaque ticket.
+
+    A ticket is issued at handshake completion and redeemed **once**: a
+    successful abbreviated handshake consumes it and issues a fresh one,
+    so a replayed ClientHello cannot resume twice.  Redemption checks
+    the ticket's age against ``lifetime``; stale tickets silently miss
+    and the client falls back to a full handshake.  ``flush()`` models a
+    server-proxy crash losing its in-memory cache — every reconnecting
+    client then pays the full RSA handshake again.
+    """
+
+    def __init__(self, sim: Simulator, rng, lifetime: float = 3600.0):
+        self.sim = sim
+        self.rng = rng
+        self.lifetime = lifetime
+        #: ticket -> (master_secret, peer_cert, peer_identity, issued_at)
+        self._entries: dict = {}
+        self.issued = 0
+        self.redeemed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def issue(self, master: bytes, peer_certificate, peer_identity) -> bytes:
+        ticket = self.rng.randbytes(16)
+        self._entries[ticket] = (master, peer_certificate, peer_identity,
+                                 self.sim.now)
+        self.issued += 1
+        return ticket
+
+    def redeem(self, ticket: bytes):
+        """(master, cert, identity) for a live ticket, else None.
+
+        One-shot: the entry is removed whether or not it is still live.
+        """
+        entry = self._entries.pop(ticket, None)
+        if entry is None:
+            return None
+        master, cert, identity, issued_at = entry
+        if self.sim.now - issued_at > self.lifetime:
+            return None
+        self.redeemed += 1
+        return master, cert, identity
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+
+class ClientSessionStore:
+    """Client-side slot for the latest resumable session (one upstream).
+
+    ``take()`` pops the stored state — tickets are single-use on the
+    wire, so the client never offers the same one twice; a successful
+    handshake (resumed or full) saves the replacement ticket.
+    """
+
+    def __init__(self):
+        self.ticket: Optional[bytes] = None
+        self.master: Optional[bytes] = None
+        self.server_certificate = None
+        self.server_identity = None
+
+    def save(self, ticket: bytes, master: bytes, certificate, identity) -> None:
+        if ticket:
+            self.ticket = ticket
+            self.master = master
+            self.server_certificate = certificate
+            self.server_identity = identity
+
+    def take(self):
+        state = (self.ticket, self.master, self.server_certificate,
+                 self.server_identity)
+        self.ticket = self.master = None
+        self.server_certificate = self.server_identity = None
+        return state
 
 
 class _Direction:
@@ -149,9 +235,19 @@ class SecureChannel(Transport):
         self._master = master_secret
         self.cpu = cpu
         self.account = account
+        #: pin this channel's bulk-crypto CPU charges to one core of a
+        #: multi-core CPU (the server proxy assigns a per-session value);
+        #: None lets the work float to any idle core.
+        self.affinity: Optional[int] = None
+        #: True for channels established by an abbreviated handshake.
+        self.resumed = False
+        #: True when the session-ticket extension was on the wire.
+        self.tickets = False
         self._writer = RecordWriter(sock)
         self._reader = RecordReader()
         self._eof = False
+        self._out_queue: Optional[Channel] = None
+        self._sealer_proc = None
         self.renegotiations = 0
         self.bytes_protected = 0
         self.obs = sim.obs
@@ -187,7 +283,8 @@ class SecureChannel(Transport):
             return
         if self.cpu is not None:
             account = f"{self.account}/{op}:{self.config.suite.name}"
-            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, account)
+            yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION, account,
+                                        affinity=self.affinity)
             yield self.sim.timeout(cost * (1.0 - CRYPTO_CPU_FRACTION))
         else:
             yield self.sim.timeout(cost)
@@ -242,6 +339,63 @@ class SecureChannel(Transport):
             self._c_bytes_sealed.inc(len(record))
         self._writer.write(self._protect(DATA, record))
 
+    # -- batched sealing -----------------------------------------------------
+
+    @property
+    def batched(self) -> bool:
+        """True when outbound records go through the batch sealer."""
+        return self.config.batch_records > 1
+
+    def queue_record(self, record: bytes) -> None:
+        """Hand one application record to the batch sealer (async send).
+
+        The sealer process drains the queue in batches of up to
+        ``config.batch_records`` same-session records, charges one
+        coalesced seal (:func:`repro.rpc.costs.batched_seal_cycles` —
+        per-record setup paid once per batch), then transmits each
+        record.  Wire format is unchanged: every record is still sealed
+        and framed individually, only the *cost* is amortized.  As a
+        side effect the caller no longer blocks on outbound crypto,
+        which pipelines request handling against sealing.
+        """
+        if self._out_queue is None:
+            self._out_queue = Channel(self.sim, name=f"tls-sealq:{self.account}")
+            self._sealer_proc = self.sim.spawn(
+                self._sealer(), name=f"tls-sealer:{self.account}"
+            )
+        self._out_queue.put(record)
+
+    def _sealer(self):
+        q = self._out_queue
+        limit = max(1, self.config.batch_records)
+        suite = self.config.suite
+        while True:
+            try:
+                first = yield q.get()
+            except ChannelClosed:
+                return
+            batch = [first]
+            while len(batch) < limit:
+                ok, item = q.try_get()
+                if not ok:
+                    break
+                batch.append(item)
+            nbytes = sum(len(r) for r in batch)
+            cost = batched_seal_cycles(suite, nbytes, len(batch)) / CPU_HZ
+            if cost > 0:
+                if self.cpu is not None:
+                    account = f"{self.account}/seal:{suite.name}"
+                    yield from self.cpu.consume(cost * CRYPTO_CPU_FRACTION,
+                                                account, affinity=self.affinity)
+                    yield self.sim.timeout(cost * (1.0 - CRYPTO_CPU_FRACTION))
+                else:
+                    yield self.sim.timeout(cost)
+            for rec in batch:
+                try:
+                    self.send_record(rec)
+                except Exception:
+                    return  # peer gone mid-batch; session teardown handles it
+
     def recv_record(self):
         """Process generator: next application record or None on EOF.
 
@@ -285,6 +439,8 @@ class SecureChannel(Transport):
                 self._reader.feed(chunk)
 
     def close(self) -> None:
+        if self._out_queue is not None and not self._out_queue.closed:
+            self._out_queue.close()  # sealer drains what's queued, then exits
         if not self.sock.closed:
             try:
                 self._writer.write(self._protect(CLOSE_NOTIFY, b""))
@@ -392,7 +548,12 @@ def client_handshake(
     cpu: Optional[CPU] = None,
     account: str = "tls",
 ):
-    """Process generator: run the client side; return a SecureChannel."""
+    """Process generator: run the client side; return a SecureChannel.
+
+    With ``config.session_tickets`` the hello carries the stored ticket
+    (if any) and the handshake resumes abbreviated when the server still
+    remembers the session — skipping the RSA key exchange entirely.
+    """
     with sim.tracer.span(
         "tls.handshake", cat="tls", role="client", suite=config.suite.name
     ):
@@ -400,7 +561,18 @@ def client_handshake(
     if sim.obs.enabled:
         sim.obs.counter("tls", "handshakes", role="client",
                         suite=config.suite.name).inc()
+        _count_handshake_kind(sim, channel, "client")
     return channel
+
+
+def _count_handshake_kind(sim: Simulator, channel: SecureChannel, role: str) -> None:
+    """resumptions / full_handshakes split, counted only for sessions
+    that negotiated the ticket extension — telemetry of runs without
+    tickets (all goldens) is unchanged."""
+    if not channel.tickets:
+        return
+    kind = "resumptions" if channel.resumed else "full_handshakes"
+    sim.obs.counter("tls", kind, role=role, suite=channel.config.suite.name).inc()
 
 
 def _client_handshake(
@@ -425,7 +597,19 @@ def _client_handshake(
                 raise HandshakeError("connection closed during handshake")
             reader.feed(chunk)
 
-    if cpu is not None:
+    offer_tickets = config.session_tickets
+    ticket = old_master = cached_cert = cached_identity = None
+    if offer_tickets:
+        if config.session_store is None:
+            config.session_store = ClientSessionStore()
+        ticket, old_master, cached_cert, cached_identity = (
+            config.session_store.take()
+        )
+    attempting_resume = bool(offer_tickets and ticket)
+
+    # When we might resume, the CPU charge is deferred until the server
+    # reveals whether the abbreviated path applies (RESUME vs. full).
+    if cpu is not None and not attempting_resume:
         yield from cpu.consume(HANDSHAKE_CPU_SECONDS, f"{account}/handshake")
 
     client_random = config.rng.randbytes(32)
@@ -433,12 +617,58 @@ def _client_handshake(
     hello.pack_opaque(client_random)
     hello.pack_string(config.suite.name)
     _pack_chain(hello, config.credential.certificate, config.credential.chain)
+    if offer_tickets:
+        # Ticket extension: trailing opaque (empty = "send me a ticket").
+        hello.pack_opaque(ticket or b"")
     transcript = hello.get_bytes()
     writer.write(bytes([HANDSHAKE]) + transcript)
 
     server_hello = yield from read_hs()
-    transcript += server_hello
+    transcript_with_hello = transcript + server_hello
     u = Unpacker(server_hello)
+    if offer_tickets:
+        # Server answers the extension with a leading resumed flag.
+        if u.unpack_uint():
+            if cpu is not None:
+                yield from cpu.consume(RESUME_CPU_SECONDS, f"{account}/handshake")
+            server_random = u.unpack_opaque()
+            suite_name = u.unpack_string()
+            if suite_name != config.suite.name:
+                raise HandshakeError(
+                    f"server chose {suite_name!r}, we require {config.suite.name!r}"
+                )
+            new_ticket = u.unpack_opaque()
+            body = server_hello[: u.position]
+            server_finished = u.unpack_opaque()
+            new_master = hmac_sha256(
+                old_master, b"resume" + client_random + server_random
+            )
+            expect = hmac_sha256(new_master, transcript + body + b"server")
+            if not constant_time_equal(server_finished, expect):
+                raise HandshakeError("abbreviated server Finished MAC mismatch")
+            reply = Packer()
+            reply.pack_opaque(
+                hmac_sha256(new_master, transcript + body + b"client")
+            )
+            writer.write(bytes([HANDSHAKE]) + reply.get_bytes())
+            config.session_store.save(
+                new_ticket, new_master, cached_cert, cached_identity
+            )
+            c2s, s2c = _derive_directions(config, new_master, is_client=True)
+            channel = SecureChannel(
+                sim, sock, config, True, c2s, s2c,
+                cached_cert, cached_identity, new_master,
+                cpu=cpu, account=account,
+            )
+            channel._reader = reader  # keep any early-arrived bytes
+            channel.tickets = True
+            channel.resumed = True
+            return channel
+        # Fallback: server declined (unknown/expired ticket, or no ticket
+        # offered) — full handshake, paying the RSA cost we deferred.
+        if cpu is not None and attempting_resume:
+            yield from cpu.consume(HANDSHAKE_CPU_SECONDS, f"{account}/handshake")
+    transcript = transcript_with_hello
     server_random = u.unpack_opaque()
     suite_name = u.unpack_string()
     if suite_name != config.suite.name:
@@ -465,11 +695,19 @@ def _client_handshake(
     if not constant_time_equal(su.unpack_opaque(), expect):
         raise HandshakeError("server Finished MAC mismatch")
 
-    c2s, s2c = _derive_directions(config, master, is_client=True)
-    return SecureChannel(
-        sim, sock, config, True, c2s, s2c,
+    channel = SecureChannel(
+        sim, sock, config, True,
+        *_derive_directions(config, master, is_client=True),
         server_cert, peer_identity, master, cpu=cpu, account=account,
     )
+    channel._reader = reader  # keep any early-arrived bytes
+    if offer_tickets:
+        channel.tickets = True
+        # The server's Finished carries our new ticket (may be empty if
+        # the server does not issue them).
+        new_ticket = su.unpack_opaque()
+        config.session_store.save(new_ticket, master, server_cert, peer_identity)
+    return channel
 
 
 def server_handshake(
@@ -478,20 +716,29 @@ def server_handshake(
     config: SecurityConfig,
     cpu: Optional[CPU] = None,
     account: str = "tls",
+    ticket_cache: Optional[SessionTicketCache] = None,
 ):
     """Process generator: run the server side; return a SecureChannel.
 
     The returned channel's ``peer_identity`` is the authenticated grid
     identity (base DN, proxies resolved) the server-side SGFS proxy
     authorizes against.
+
+    ``ticket_cache`` enables session resumption: full handshakes from
+    ticket-offering clients are answered with a fresh ticket, and a
+    presented ticket that is still live runs the abbreviated handshake
+    (no RSA, no chain validation — identity comes from the cache).
     """
     with sim.tracer.span(
         "tls.handshake", cat="tls", role="server", suite=config.suite.name
     ):
-        channel = yield from _server_handshake(sim, sock, config, cpu, account)
+        channel = yield from _server_handshake(
+            sim, sock, config, cpu, account, ticket_cache
+        )
     if sim.obs.enabled:
         sim.obs.counter("tls", "handshakes", role="server",
                         suite=config.suite.name).inc()
+        _count_handshake_kind(sim, channel, "server")
     return channel
 
 
@@ -501,6 +748,7 @@ def _server_handshake(
     config: SecurityConfig,
     cpu: Optional[CPU],
     account: str,
+    ticket_cache: Optional[SessionTicketCache] = None,
 ):
     writer = RecordWriter(sock)
     reader = RecordReader()
@@ -518,8 +766,6 @@ def _server_handshake(
             reader.feed(chunk)
 
     client_hello = yield from read_hs()
-    if cpu is not None:
-        yield from cpu.consume(HANDSHAKE_CPU_SECONDS, f"{account}/handshake")
     transcript = client_hello
     u = Unpacker(client_hello)
     client_random = u.unpack_opaque()
@@ -529,6 +775,50 @@ def _server_handshake(
             f"client requested {suite_name!r}, session requires {config.suite.name!r}"
         )
     client_cert, client_chain = _unpack_chain(u)
+    # Ticket extension: any trailing bytes are the client's ticket offer.
+    offered = u.position < len(client_hello)
+    ticket = u.unpack_opaque() if offered else b""
+    session = (ticket_cache.redeem(ticket)
+               if (ticket and ticket_cache is not None) else None)
+
+    if session is not None:
+        # Abbreviated handshake: identity and master come from the
+        # cache; no RSA, no chain validation.
+        old_master, peer_cert, peer_identity = session
+        if cpu is not None:
+            yield from cpu.consume(RESUME_CPU_SECONDS, f"{account}/handshake")
+        server_random = config.rng.randbytes(32)
+        new_master = hmac_sha256(
+            old_master, b"resume" + client_random + server_random
+        )
+        new_ticket = ticket_cache.issue(new_master, peer_cert, peer_identity)
+        body = Packer()
+        body.pack_uint(1)
+        body.pack_opaque(server_random)
+        body.pack_string(config.suite.name)
+        body.pack_opaque(new_ticket)
+        body_bytes = body.get_bytes()
+        fin = Packer()
+        fin.pack_opaque(hmac_sha256(new_master, transcript + body_bytes + b"server"))
+        writer.write(bytes([HANDSHAKE]) + body_bytes + fin.get_bytes())
+
+        client_finished = yield from read_hs()
+        cu = Unpacker(client_finished)
+        expect = hmac_sha256(new_master, transcript + body_bytes + b"client")
+        if not constant_time_equal(cu.unpack_opaque(), expect):
+            raise HandshakeError("abbreviated client Finished MAC mismatch")
+        s2c_pair = _derive_directions(config, new_master, is_client=False)
+        channel = SecureChannel(
+            sim, sock, config, False, s2c_pair[1], s2c_pair[0],
+            peer_cert, peer_identity, new_master, cpu=cpu, account=account,
+        )
+        channel._reader = reader  # client DATA may ride the same chunk
+        channel.tickets = True
+        channel.resumed = True
+        return channel
+
+    if cpu is not None:
+        yield from cpu.consume(HANDSHAKE_CPU_SECONDS, f"{account}/handshake")
     if config.require_peer_cert:
         peer_identity = _validate_peer(config, sim.now, client_cert, client_chain)
     else:
@@ -536,6 +826,8 @@ def _server_handshake(
 
     server_random = config.rng.randbytes(32)
     hello = Packer()
+    if offered:
+        hello.pack_uint(0)  # extension answered: not resumed
     hello.pack_opaque(server_random)
     hello.pack_string(config.suite.name)
     _pack_chain(hello, config.credential.certificate, config.credential.chain)
@@ -556,10 +848,21 @@ def _server_handshake(
 
     reply = Packer()
     reply.pack_opaque(hmac_sha256(master, transcript + kx_bytes[:kx_prefix_len] + b"server"))
+    if offered:
+        # Answer the extension: issue a ticket for this session (empty
+        # when this server does not keep a ticket cache).
+        new_ticket = (
+            ticket_cache.issue(master, client_cert, peer_identity)
+            if ticket_cache is not None else b""
+        )
+        reply.pack_opaque(new_ticket)
     writer.write(bytes([HANDSHAKE]) + reply.get_bytes())
 
     c2s, s2c = _derive_directions(config, master, is_client=False)
-    return SecureChannel(
+    channel = SecureChannel(
         sim, sock, config, False, s2c, c2s,
         client_cert, peer_identity, master, cpu=cpu, account=account,
     )
+    channel._reader = reader  # keep any early-arrived bytes
+    channel.tickets = offered
+    return channel

@@ -30,6 +30,22 @@ class SecurityConfig:
     require_peer_cert: bool = True
     #: Automatic rekey interval in virtual seconds; None disables.
     renegotiate_interval: Optional[float] = None
+    #: Offer/issue session tickets (RFC-5077 style): the server hands the
+    #: client an opaque ticket at full-handshake time, and a reconnecting
+    #: client presents it to run an abbreviated handshake that skips the
+    #: RSA key exchange entirely.  Off by default — the golden
+    #: single-session runs never reconnect and stay byte-identical.
+    session_tickets: bool = False
+    #: Ticket validity in virtual seconds; expired tickets silently fall
+    #: back to a full handshake.
+    ticket_lifetime: float = 3600.0
+    #: Coalesce up to this many queued outbound records into one sealing
+    #: operation (amortizing per-record MAC/cipher setup).  ``1`` keeps
+    #: the legacy one-charge-per-record path and historic schedules.
+    batch_records: int = 1
+    #: Client-side slot for the most recent (ticket, master, cert);
+    #: created lazily on the first full handshake that yields a ticket.
+    session_store: Optional[object] = None
     #: Entropy source for randoms/premaster (deterministic per seed).
     rng: Drbg = field(default_factory=lambda: Drbg("tls-default"))
 

@@ -93,3 +93,101 @@ def test_fleet_single_client_matches_spawn_per_call_dispatch():
     legacy = run_fleet("nfs-v3", _iozone, clients=1, server_workers=None)
     assert pooled.makespan == legacy.makespan
     assert pooled.per_client[0].phases == legacy.per_client[0].phases
+
+
+# -- multi-core server, session tickets, batched sealing ----------------------
+
+
+def test_multicore_fleet_bit_identical():
+    kw = dict(clients=8, server_cores=4)
+    a = run_fleet("sgfs-aes", _iozone, **kw)
+    b = run_fleet("sgfs-aes", _iozone, **kw)
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_multicore_fleet_faster_than_single_core():
+    one = run_fleet("sgfs-aes", _iozone, clients=8)
+    four = run_fleet("sgfs-aes", _iozone, clients=8, server_cores=4)
+    assert four.makespan < one.makespan
+
+
+def test_single_client_unchanged_by_core_count_knob():
+    # cores=1 is the legacy semaphore path; a lone session also cannot
+    # exploit parallelism, so its virtual-time results are identical.
+    legacy = run_fleet("sgfs-aes", _iozone, clients=1)
+    multi = run_fleet("sgfs-aes", _iozone, clients=1, server_cores=4)
+    assert legacy.makespan == multi.makespan
+    assert legacy.per_client[0].phases == multi.per_client[0].phases
+
+
+def test_reconnecting_fleet_resumes_sessions():
+    r = run_fleet(
+        "sgfs-aes", _iozone, clients=4,
+        session_tickets=True, reconnect_interval=0.005,
+    )
+    tls = r.stats["tls"]
+    suite = "aes-256-cbc-sha1"
+    resumed = tls.get(f"resumptions{{role=server,suite={suite}}}", 0)
+    full = tls[f"full_handshakes{{role=server,suite={suite}}}"]
+    assert resumed > 0
+    # Only the initial connection per client pays the full RSA handshake.
+    assert full == 4
+
+
+def test_reconnecting_fleet_bit_identical_same_seed():
+    kw = dict(clients=4, session_tickets=True, reconnect_interval=0.005)
+    a = run_fleet("sgfs-aes", _iozone, **kw)
+    b = run_fleet("sgfs-aes", _iozone, **kw)
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_tickets_with_lossy_faults_bit_identical():
+    kw = dict(
+        clients=4, rtt=0.04, faults="lossy-wan", fault_seed="fleet-ci",
+        session_tickets=True, reconnect_interval=0.05,
+    )
+    a = run_fleet("sgfs-sha", _iozone, **kw)
+    b = run_fleet("sgfs-sha", _iozone, **kw)
+    assert _fingerprint(a) == _fingerprint(b)
+    assert a.stats["faults"]["dropped"] > 0
+
+
+def test_server_crash_flushes_tickets():
+    # The server proxy dies and restarts mid-run.  The crash flushes the
+    # in-memory ticket cache, so reconnecting clients pay full RSA
+    # handshakes again -- more full handshakes than clients.
+    from repro.faults import CrashEvent, FaultSpec
+
+    spec = FaultSpec(
+        crashes=(CrashEvent(at=0.03, target="server-proxy", down_for=0.005),),
+        client_timeo=0.1,
+        proxy_timeo=0.1,
+        rto_base=0.05,
+        rto_max=0.2,
+    )
+    r = run_fleet(
+        "sgfs-aes", lambda: IOzoneReadReread(file_size=4 * FS), clients=4,
+        faults=spec, fault_seed="fleet-ci",
+        session_tickets=True, reconnect_interval=0.01,
+    )
+    tls = r.stats["tls"]
+    suite = "aes-256-cbc-sha1"
+    full = tls[f"full_handshakes{{role=server,suite={suite}}}"]
+    # 4 initial + 4 post-crash re-handshakes (flushed cache), resumption
+    # in between.
+    assert full > 4
+    assert tls[f"resumptions{{role=server,suite={suite}}}"] > 0
+
+
+def test_batched_sealing_bit_identical_and_counted():
+    kw = dict(clients=8, server_cores=2, batch_records=4)
+    a = run_fleet("sgfs-aes", _iozone, **kw)
+    b = run_fleet("sgfs-aes", _iozone, **kw)
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_ticketless_fleet_stats_unchanged():
+    # The resumption counters only exist when tickets are on the wire.
+    r = run_fleet("sgfs-aes", _iozone, clients=2)
+    assert not any("resumptions" in k for k in r.stats.get("tls", {}))
+    assert not any("full_handshakes" in k for k in r.stats.get("tls", {}))

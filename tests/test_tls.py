@@ -264,3 +264,177 @@ def test_handshake_charges_cpu():
     establish(sim, c, s, ccfg, scfg)
     assert c.cpu.busy_total("tls") > 0
     assert s.cpu.busy_total("tls") > 0
+
+
+# -- session resumption (tickets + abbreviated handshake) ---------------------
+
+
+from repro.tls import SessionTicketCache  # noqa: E402
+
+
+def ticket_configs(lifetime=3600.0):
+    ccfg = SecurityConfig.for_session(
+        USER, [CA.certificate], "aes-256-cbc-sha1",
+        rng=Drbg("c-rng"), session_tickets=True, ticket_lifetime=lifetime,
+    )
+    scfg = SecurityConfig.for_session(
+        SERVER, [CA.certificate], "aes-256-cbc-sha1",
+        rng=Drbg("s-rng"), session_tickets=True, ticket_lifetime=lifetime,
+    )
+    return ccfg, scfg
+
+
+def serial_handshakes(sim, c, s, ccfg, scfg, cache, n, gap=0.0, port=4433):
+    """n sequential connect+handshake rounds sharing one ticket cache."""
+    pairs = []
+
+    def server_side():
+        lst = s.listen(port)
+        for _ in range(n):
+            sock = yield lst.accept()
+            sch = yield from server_handshake(
+                sim, sock, scfg, cpu=s.cpu, ticket_cache=cache
+            )
+            pairs[-1]["server"] = sch
+
+    def client_side():
+        for _ in range(n):
+            pairs.append({})
+            sock = yield from c.connect("s", port)
+            cch = yield from client_handshake(sim, sock, ccfg, cpu=c.cpu)
+            pairs[-1]["client"] = cch
+            yield sim.timeout(0.01 + gap)
+
+    sim.spawn(server_side())
+    p = sim.spawn(client_side())
+    sim.run_until_complete(p)
+    sim.run(until=sim.now + 1.0)
+    return pairs
+
+
+def test_second_handshake_is_abbreviated():
+    sim, c, s = make_testbed()
+    ccfg, scfg = ticket_configs()
+    cache = SessionTicketCache(sim, rng=scfg.rng)
+    pairs = serial_handshakes(sim, c, s, ccfg, scfg, cache, n=3)
+    assert [p["client"].resumed for p in pairs] == [False, True, True]
+    assert [p["server"].resumed for p in pairs] == [False, True, True]
+    # Resumed channels carry the full identity context.
+    cch, sch = pairs[2]["client"], pairs[2]["server"]
+    assert str(cch.peer_identity) == "/O=Lab/CN=server"
+    assert str(sch.peer_identity) == "/O=Lab/CN=user"
+
+    def exchange():
+        cch.send_record(b"over the resumed session")
+        return (yield from sch.recv_record())
+
+    assert sim.run_until_complete(sim.spawn(exchange())) == (
+        b"over the resumed session"
+    )
+
+
+def test_resumed_keys_differ_from_original():
+    sim, c, s = make_testbed()
+    ccfg, scfg = ticket_configs()
+    cache = SessionTicketCache(sim, rng=scfg.rng)
+    pairs = serial_handshakes(sim, c, s, ccfg, scfg, cache, n=2)
+    assert pairs[0]["client"]._master != pairs[1]["client"]._master
+    assert (pairs[1]["client"]._master
+            == pairs[1]["server"]._master)
+
+
+def test_expired_ticket_falls_back_to_full_handshake():
+    sim, c, s = make_testbed()
+    ccfg, scfg = ticket_configs(lifetime=0.5)
+    cache = SessionTicketCache(sim, rng=scfg.rng, lifetime=0.5)
+    pairs = serial_handshakes(sim, c, s, ccfg, scfg, cache, n=2, gap=2.0)
+    # The gap between rounds exceeds the lifetime: the offered ticket is
+    # stale, the server declines, and the client completes a full
+    # handshake anyway.
+    assert [p["client"].resumed for p in pairs] == [False, False]
+    assert [p["server"].resumed for p in pairs] == [False, False]
+    assert cache.redeemed == 0
+
+
+def test_flushed_cache_declines_resumption():
+    sim, c, s = make_testbed()
+    ccfg, scfg = ticket_configs()
+    cache = SessionTicketCache(sim, rng=scfg.rng)
+    first = serial_handshakes(sim, c, s, ccfg, scfg, cache, n=1, port=4433)
+    assert not first[0]["client"].resumed
+    cache.flush()  # models the server proxy crashing
+    second = serial_handshakes(sim, c, s, ccfg, scfg, cache, n=1, port=4434)
+    assert not second[0]["client"].resumed
+    assert not second[0]["server"].resumed
+    # The fallback still re-arms resumption: a fresh ticket was issued.
+    assert len(cache) == 1
+
+
+def test_tickets_are_single_use():
+    sim, c, s = make_testbed()
+    ccfg, scfg = ticket_configs()
+    cache = SessionTicketCache(sim, rng=scfg.rng)
+    serial_handshakes(sim, c, s, ccfg, scfg, cache, n=2)
+    # Each successful round consumed the prior ticket and left exactly
+    # one live replacement; nothing accumulates.
+    assert len(cache) == 1
+    assert cache.issued == 2
+    assert cache.redeemed == 1
+
+
+def test_resumption_counters():
+    from repro.obs import Registry
+
+    sim = Simulator(obs=Registry())
+    net = Network(sim)
+    c = Host(sim, net, "c")
+    s = Host(sim, net, "s")
+    net.connect("c", "s", latency=0.001)
+    ccfg, scfg = ticket_configs()
+    cache = SessionTicketCache(sim, rng=scfg.rng)
+    serial_handshakes(sim, c, s, ccfg, scfg, cache, n=3)
+    tls = sim.obs.snapshot()["tls"]
+    suite = "aes-256-cbc-sha1"
+    assert tls[f"resumptions{{role=client,suite={suite}}}"] == 2
+    assert tls[f"resumptions{{role=server,suite={suite}}}"] == 2
+    assert tls[f"full_handshakes{{role=client,suite={suite}}}"] == 1
+    assert tls[f"full_handshakes{{role=server,suite={suite}}}"] == 1
+
+
+def test_resumption_skips_rsa_cpu_cost():
+    sim, c, s = make_testbed()
+    ccfg, scfg = ticket_configs()
+    cache = SessionTicketCache(sim, rng=scfg.rng)
+    serial_handshakes(sim, c, s, ccfg, scfg, cache, n=2)
+    # One full (0.004s) + one abbreviated (0.0004s) on each side.
+    for cpu in (c.cpu, s.cpu):
+        hs = cpu.busy_total("tls/handshake")
+        assert abs(hs - 0.0044) < 1e-9, hs
+
+
+def test_no_tickets_wire_format_unchanged():
+    # A ticket-less client against a ticket-capable server (and vice
+    # versa) must interoperate: the extension only exists on the wire
+    # when the client offers it.
+    sim, c, s = make_testbed()
+    ccfg, _ = configs()
+    _, scfg = ticket_configs()
+    cache = SessionTicketCache(sim, rng=scfg.rng)
+    result = {}
+
+    def server_side():
+        lst = s.listen(4433)
+        sock = yield lst.accept()
+        result["server"] = yield from server_handshake(
+            sim, sock, scfg, cpu=s.cpu, ticket_cache=cache
+        )
+
+    def client_side():
+        sock = yield from c.connect("s", 4433)
+        result["client"] = yield from client_handshake(sim, sock, ccfg, cpu=c.cpu)
+
+    sim.spawn(server_side())
+    sim.run_until_complete(sim.spawn(client_side()))
+    assert not result["client"].resumed
+    assert not result["server"].resumed
+    assert len(cache) == 0  # no extension offered -> no ticket issued
