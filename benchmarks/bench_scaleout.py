@@ -11,12 +11,19 @@ Runs pinned sgfs-aes fleet scenarios on the widened (8x) LAN and writes
   is the acceptance number (must be >= 3.0);
 - ``resume-8c-4core`` — a reconnect-heavy fleet with session tickets:
   every reconnect takes the abbreviated handshake, so only the initial
-  connections pay the full RSA exchange.
+  connections pay the full RSA exchange;
+- ``grid-24c-{1,2,4}s`` — the sharded data plane: 24 clients running the
+  verified write/read workload against 1, 2, and 4 single-core backends
+  with 32 KB stripe blocks.  The single-backend run saturates the one
+  server core; striping spreads block I/O (and its sealing) across the
+  backends, and ``grid_ratio_4s_vs_1s`` (must be >= 1.8) is the
+  scale-out acceptance number.
 
 Every recorded value is virtual-time and therefore deterministic: the
 committed snapshot must match a fresh run bit-for-bit (CI enforces this
 with ``repro bench-diff``), and ``--check`` additionally fails the build
-if the multi-core speedup ever drops below 3x.
+if the multi-core speedup ever drops below 3x or the 4-backend grid
+speedup below 1.8x.
 
 Usage::
 
@@ -34,7 +41,7 @@ import sys
 
 from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.harness import run_fleet
-from repro.workloads.iozone import IOzoneReadReread
+from repro.workloads.iozone import IOzoneReadReread, IOzoneWriteRead
 
 FILE_SIZE = 128 * 1024  # per client, read + reread
 FAT_LAN = dataclasses.replace(
@@ -43,12 +50,46 @@ FAT_LAN = dataclasses.replace(
 SUITE = "aes-256-cbc-sha1"
 MIN_RATIO = 3.0
 
+# Grid scenarios: enough clients that one single-core backend saturates
+# (24 latency-capped clients demand ~2x what one core can seal), files
+# large enough to amortize the per-backend TLS handshakes, and a client
+# cache small enough that both read passes hit the protocol.
+GRID_CLIENTS = 24
+GRID_FILE_SIZE = 1024 * 1024  # per client, written + read + reread
+GRID_BLOCK = 32 * 1024
+MIN_GRID_RATIO = 1.8
+
 
 def _fleet(clients: int, cores: int, **kw):
     return run_fleet(
         "sgfs-aes", lambda: IOzoneReadReread(file_size=FILE_SIZE),
         clients=clients, cal=FAT_LAN, server_cores=cores, **kw,
     )
+
+
+def _grid_fleet(servers: int):
+    return run_fleet(
+        "sgfs-aes", lambda: IOzoneWriteRead(file_size=GRID_FILE_SIZE),
+        clients=GRID_CLIENTS, cal=FAT_LAN, server_cores=1,
+        servers=servers, grid_block_size=GRID_BLOCK,
+        setup_kwargs={"cache_bytes": 64 * 1024},
+    )
+
+
+def _grid_measure(result, servers: int) -> dict:
+    stats = result.stats.get("grid", {})
+    return {
+        "clients": GRID_CLIENTS,
+        "servers": servers,
+        "server_cores": 1,
+        "makespan_virtual_seconds": result.makespan,
+        # measured from per-client byte totals (not the per-client
+        # estimate — see FleetResult.aggregate_throughput)
+        "aggregate_mb_per_sec": round(result.aggregate_throughput() / 1e6, 3),
+        "mean_client_seconds": result.mean_client_seconds,
+        "striped_reads": stats.get("striped_reads", 0),
+        "striped_writes": stats.get("striped_writes", 0),
+    }
 
 
 def _measure(result, clients: int, cores: int) -> dict:
@@ -87,15 +128,24 @@ def run_benchmarks() -> dict:
     out["scenarios"]["resume-8c-4core"] = _measure(resume, 8, 4)
     out["scenarios"]["resume-8c-4core"]["session_tickets"] = True
     out["scenarios"]["resume-8c-4core"]["reconnect_interval"] = 0.01
+    for servers in (1, 2, 4):
+        grid = _grid_fleet(servers)
+        out["scenarios"][f"grid-24c-{servers}s"] = _grid_measure(grid, servers)
     ratio = (out["scenarios"]["wide-16c-4core"]["aggregate_mb_per_sec"]
              / out["scenarios"]["base-8c-1core"]["aggregate_mb_per_sec"])
     out["throughput_ratio_vs_base"] = round(ratio, 3)
+    grid_ratio = (out["scenarios"]["grid-24c-4s"]["aggregate_mb_per_sec"]
+                  / out["scenarios"]["grid-24c-1s"]["aggregate_mb_per_sec"])
+    out["grid_ratio_4s_vs_1s"] = round(grid_ratio, 3)
     for label, m in out["scenarios"].items():
+        extra = (f"striped_r={m['striped_reads']} striped_w={m['striped_writes']}"
+                 if "striped_reads" in m else
+                 f"full_hs={m['tls_full_handshakes']} "
+                 f"resumed={m['tls_resumptions']}")
         print(f"  {label:16s} {m['aggregate_mb_per_sec']:8.1f} MB/s  "
-              f"makespan {m['makespan_virtual_seconds']:.5f}s  "
-              f"full_hs={m['tls_full_handshakes']} "
-              f"resumed={m['tls_resumptions']}")
+              f"makespan {m['makespan_virtual_seconds']:.5f}s  {extra}")
     print(f"  throughput ratio 16c/4core vs 8c/1core: {ratio:.2f}x")
+    print(f"  grid throughput ratio 4 backends vs 1: {grid_ratio:.2f}x")
     return out
 
 
@@ -106,6 +156,19 @@ def check(result: dict) -> int:
         failures.append(
             f"multi-core speedup {ratio:.2f}x below the {MIN_RATIO:.1f}x floor"
         )
+    grid_ratio = result["grid_ratio_4s_vs_1s"]
+    if grid_ratio < MIN_GRID_RATIO:
+        failures.append(
+            f"4-backend grid speedup {grid_ratio:.2f}x below the "
+            f"{MIN_GRID_RATIO:.1f}x floor"
+        )
+    for servers in (2, 4):
+        g = result["scenarios"][f"grid-24c-{servers}s"]
+        if g["striped_reads"] <= 0 or g["striped_writes"] <= 0:
+            failures.append(
+                f"grid-24c-{servers}s recorded no striped I/O "
+                f"(reads={g['striped_reads']}, writes={g['striped_writes']})"
+            )
     resume = result["scenarios"]["resume-8c-4core"]
     if resume["tls_resumptions"] <= 0:
         failures.append("reconnect-heavy fleet recorded no TLS resumptions")
@@ -118,6 +181,7 @@ def check(result: dict) -> int:
         print(f"FAIL: {msg}")
     if not failures:
         print(f"OK: {ratio:.2f}x >= {MIN_RATIO:.1f}x, "
+              f"grid {grid_ratio:.2f}x >= {MIN_GRID_RATIO:.1f}x, "
               f"{resume['tls_resumptions']} resumptions")
     return 1 if failures else 0
 
@@ -127,8 +191,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_SCALEOUT.json",
                         help="output path (default: BENCH_SCALEOUT.json)")
     parser.add_argument("--check", action="store_true",
-                        help="fail unless the multi-core speedup is >= 3x "
-                             "and the reconnect fleet resumed sessions")
+                        help="fail unless the multi-core speedup is >= 3x, "
+                             "the 4-backend grid speedup is >= 1.8x, and "
+                             "the reconnect fleet resumed sessions")
     args = parser.parse_args(argv)
     print("bench_scaleout (sgfs-aes, fat LAN)")
     result = run_benchmarks()

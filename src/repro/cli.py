@@ -45,11 +45,18 @@ from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.core.setups import SETUP_BUILDERS
 from repro.crypto.suites import SUITES
 from repro.faults import FAULT_PRESETS
-from repro.harness import run_iozone, run_mab, run_postmark, run_seismic
+from repro.harness import (
+    run_iozone,
+    run_iozone_wr,
+    run_mab,
+    run_postmark,
+    run_seismic,
+)
 from repro.harness.presets import WAN_RTT, resolve_preset  # noqa: F401 (re-export)
 
 WORKLOAD_RUNNERS = {
     "iozone": run_iozone,
+    "iozone-wr": run_iozone_wr,
     "postmark": run_postmark,
     "mab": run_mab,
     "seismic": run_seismic,
@@ -102,6 +109,14 @@ def _parser() -> argparse.ArgumentParser:
     run_p.add_argument("--batch-records", type=int, default=1,
                        help="coalesce up to N queued server replies per "
                             "session into one sealing pass (default: 1)")
+    run_p.add_argument("--servers", type=int, default=1,
+                       help="shard the data plane across N backend NFS "
+                            "servers; grid-created files stripe their "
+                            "blocks round-robin (default: 1 = unsharded)")
+    run_p.add_argument("--replicas", type=int, default=1,
+                       help="write each grid block to N consecutive "
+                            "backends so reads survive a backend crash "
+                            "(default: 1 = no replication)")
     run_p.add_argument("--stats-json", default=None, metavar="FILE",
                        help="write the cross-layer metrics snapshot to "
                             "FILE as JSON")
@@ -242,13 +257,14 @@ def _write_stats_json(path: str, stats: dict, out) -> int:
 def _cmd_run_fleet(args, kwargs, out) -> int:
     """The ``run --clients N`` path: one N-client concurrent fleet."""
     from repro.harness import run_fleet
-    from repro.workloads.iozone import IOzoneReadReread
+    from repro.workloads.iozone import IOzoneReadReread, IOzoneWriteRead
     from repro.workloads.mab import ModifiedAndrewBenchmark
     from repro.workloads.postmark import PostMark
     from repro.workloads.seismic import Seismic
 
     factories = {
         "iozone": lambda: IOzoneReadReread(),
+        "iozone-wr": lambda: IOzoneWriteRead(),
         "postmark": lambda: PostMark(None),
         "mab": ModifiedAndrewBenchmark,
         "seismic": lambda: Seismic(None),
@@ -264,6 +280,8 @@ def _cmd_run_fleet(args, kwargs, out) -> int:
             reconnect_interval=(args.reconnect_ms / 1000.0
                                 if args.reconnect_ms else None),
             batch_records=args.batch_records,
+            servers=args.servers,
+            replicas=args.replicas,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=out)
@@ -305,6 +323,8 @@ def _cmd_run(args, out) -> int:
         ("--session-tickets", args.session_tickets),
         ("--reconnect-ms", args.reconnect_ms is not None),
         ("--batch-records", args.batch_records > 1),
+        ("--servers", args.servers > 1),
+        ("--replicas", args.replicas > 1),
     ):
         if active:
             print(f"error: {flag} requires a fleet run (--clients >= 2)",

@@ -28,6 +28,26 @@ CLIENT_PROXY_PORT = 4445
 SSH_TUNNEL_PORT = 4422
 SSH_LOCAL_PORT = 4423
 SFS_PORT = 4446
+GRID_META_PORT = 4447
+
+
+@dataclass
+class Backend:
+    """One data-plane NFS server of a sharded (``servers > 1``) testbed.
+
+    Backend 0 aliases the home server — the same host/fs/program the
+    single-server topology builds — so ``servers=1`` runs are untouched;
+    backends 1..N-1 are additional hosts hanging off the same router.
+    """
+
+    index: int
+    name: str
+    host: Host
+    fs: VirtualFS
+    disk: DiskModel
+    nfs_program: NfsServerProgram
+    rpc_server: RpcServer
+    listener: object = None
 
 
 @dataclass
@@ -54,6 +74,9 @@ class Testbed:
     tracer: "SpanTracer" = NULL_TRACER
     #: the kernel NFS server's listener, kept so crash injection can close it
     nfs_listener: object = None
+    #: data-plane servers of a sharded testbed; entry 0 aliases the home
+    #: server, so ``len(backends)`` is the grid width (1 = unsharded)
+    backends: list = field(default_factory=list)
     _port_alloc: "itertools.count" = field(default_factory=lambda: itertools.count(20000))
 
     @classmethod
@@ -69,6 +92,7 @@ class Testbed:
         vfs_locking: bool = False,
         profile: bool = False,
         server_cores: int = 1,
+        servers: int = 1,
     ) -> "Testbed":
         """Create the §6.1 topology.
 
@@ -96,6 +120,14 @@ class Testbed:
         crypto and request processing overlap across cores instead of
         serializing.  The default ``1`` reproduces the paper's 1-vCPU
         server bit-for-bit.
+
+        ``servers=N`` builds a sharded data plane: N-1 extra backend
+        hosts ``s1..s{N-1}`` hang off the same router, each with its own
+        VirtualFS, disk, and kernel NFS server (the home server is
+        backend 0).  The grid layer (:mod:`repro.grid`) stripes file
+        blocks across them.  ``servers=1`` (the default) builds exactly
+        the single-server topology — bit-identical to before the knob
+        existed.
 
         ``profile=True`` arms the bottleneck-attribution layer
         (:mod:`repro.obs.profile`): it forces telemetry *and* tracing on
@@ -150,12 +182,49 @@ class Testbed:
         server_accounts.add(Account(export_owner, export_uid, export_uid))
         client_accounts = AccountsDb()
 
+        if servers < 1:
+            raise ValueError("servers must be >= 1")
+        backends = [
+            Backend(
+                index=0, name="server", host=server, fs=fs, disk=server_disk,
+                nfs_program=nfs_program, rpc_server=nfs_rpc_server,
+                listener=nfs_listener,
+            )
+        ]
+        for i in range(1, servers):
+            bname = f"s{i}"
+            bhost = Host(sim, net, bname, cpu_cores=server_cores)
+            net.connect(bname, "router", latency=cal.lan_link_latency,
+                        bandwidth=cal.lan_bandwidth)
+            bfs = VirtualFS(clock=lambda: sim.now, root_uid=export_uid,
+                            root_gid=export_uid, root_mode=0o755)
+            bdisk = DiskModel(
+                sim, name=f"{bname}-disk",
+                access_latency=cal.server_disk_access,
+                read_bandwidth=cal.server_disk_read_bw,
+                write_bandwidth=cal.server_disk_write_bw,
+            )
+            bprog = NfsServerProgram(sim, bfs, bdisk, locking=vfs_locking)
+            brpc = RpcServer(
+                sim, cpu=bhost.cpu, cost=cal.kernel_server_cost,
+                account="kernel-nfs", name=f"nfsd-{bname}",
+                workers=server_workers,
+            )
+            brpc.register(bprog)
+            blistener = bhost.listen(NFS_PORT)
+            brpc.serve_listener(blistener)
+            backends.append(Backend(
+                index=i, name=bname, host=bhost, fs=bfs, disk=bdisk,
+                nfs_program=bprog, rpc_server=brpc, listener=blistener,
+            ))
+
         return cls(
             sim=sim, net=net, client=client, server=server, router=router,
             fs=fs, server_disk=server_disk, nfs_program=nfs_program,
             nfs_rpc_server=nfs_rpc_server,
             server_accounts=server_accounts, client_accounts=client_accounts,
             cal=cal, obs=sim.obs, tracer=sim.tracer, nfs_listener=nfs_listener,
+            backends=backends,
         )
 
     # -- conveniences ------------------------------------------------------------
@@ -199,6 +268,30 @@ class Testbed:
         if self.nfs_listener is None:
             self.nfs_listener = self.server.listen(NFS_PORT)
             self.nfs_rpc_server.serve_listener(self.nfs_listener)
+
+    def crash_backend(self, index: int) -> None:
+        """Crash one data-plane backend's kernel NFS server (see
+        :meth:`crash_nfs_server`; index 0 is the home server)."""
+        if index == 0:
+            self.crash_nfs_server()
+            self.backends[0].listener = None
+            return
+        backend = self.backends[index]
+        if backend.listener is not None:
+            backend.listener.close()
+            backend.listener = None
+        backend.rpc_server.disconnect_all()
+
+    def restart_backend(self, index: int) -> None:
+        """Come back up after :meth:`crash_backend`."""
+        if index == 0:
+            self.restart_nfs_server()
+            self.backends[0].listener = self.nfs_listener
+            return
+        backend = self.backends[index]
+        if backend.listener is None:
+            backend.listener = backend.host.listen(NFS_PORT)
+            backend.rpc_server.serve_listener(backend.listener)
 
     def run(self, generator, name: str = "workload"):
         """Spawn a process and run the simulation until it completes."""

@@ -1,0 +1,34 @@
+"""Sharded multi-server data plane (GridFS/HDFS-style striping).
+
+One metadata service (the NameNode role) maps each striped file's
+fixed-size block ranges round-robin onto N backend NFS servers, with
+optional K-way replication; the client proxy consults (and caches, with
+epoch-based invalidation) the layout and fans block I/O out to the
+backends in parallel, failing over deterministically to the next
+replica when a backend dies.
+
+- :mod:`repro.grid.layout` — pure placement math (blocks, spans,
+  replica owners);
+- :mod:`repro.grid.metadata` — the metadata RPC program + client
+  (registration catalog, dead set, epoch);
+- :mod:`repro.grid.router` — the client-side fan-out router plugged
+  into :class:`repro.proxy.client_proxy.SgfsClientProxy`.
+"""
+
+from repro.grid.layout import GridLayout
+from repro.grid.metadata import (
+    GRID_META_PROGRAM,
+    GridMetadataClient,
+    GridMetadataProgram,
+    GridMetadataService,
+)
+from repro.grid.router import GridRouter
+
+__all__ = [
+    "GRID_META_PROGRAM",
+    "GridLayout",
+    "GridMetadataClient",
+    "GridMetadataProgram",
+    "GridMetadataService",
+    "GridRouter",
+]

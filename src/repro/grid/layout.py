@@ -1,0 +1,75 @@
+"""Striped-file placement math.
+
+A striped file is split into fixed-size **grid blocks** (default 4 MB,
+following the griddfs NameNode design); block ``b`` of file ``fileid``
+has a deterministic **primary** backend and ``replicas - 1`` further
+owners on the following backends (mod ``width``):
+
+    primary(b)  = (fileid + b) % width
+    owners(b)   = [(primary + r) % width  for r in range(replicas)]
+
+Placement depends only on ``(fileid, block, width, replicas)`` — never
+on which backends are currently alive — so every client computes the
+same owner list forever; failures only change which owner in the list
+is *used* (readers try owners in order, writers write all live owners).
+That is the determinism rule that makes same-seed reruns bit-identical
+even under crash schedules.
+
+All sizes are bytes; all functions are pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: default grid block size (the griddfs NameNode's 4 MB unit)
+DEFAULT_BLOCK_SIZE = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class GridLayout:
+    """Placement parameters of one striped namespace."""
+
+    width: int  #: number of backend servers
+    replicas: int = 1  #: copies of every block (1 = no replication)
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("grid width must be >= 1")
+        if not 1 <= self.replicas <= self.width:
+            raise ValueError(
+                f"replicas must be in [1, width]; got {self.replicas} "
+                f"with width {self.width}"
+            )
+        if self.block_size < 1:
+            raise ValueError("block_size must be positive")
+
+    def primary(self, fileid: int, block: int) -> int:
+        """The first owner of ``block`` of ``fileid``."""
+        return (fileid + block) % self.width
+
+    def owners(self, fileid: int, block: int) -> List[int]:
+        """All owners of the block, primary first, in failover order."""
+        first = self.primary(fileid, block)
+        return [(first + r) % self.width for r in range(self.replicas)]
+
+    def spans(self, offset: int, count: int) -> List[Tuple[int, int, int]]:
+        """Split a byte range into per-block spans.
+
+        Returns ``[(block, block_offset, length), ...]`` in ascending
+        block order, where ``block_offset`` is the span's absolute file
+        offset (backends store stripes at their true offsets, so no
+        per-backend offset translation is needed).
+        """
+        out: List[Tuple[int, int, int]] = []
+        pos = offset
+        end = offset + count
+        while pos < end:
+            block = pos // self.block_size
+            boundary = (block + 1) * self.block_size
+            take = min(boundary, end) - pos
+            out.append((block, pos, take))
+            pos += take
+        return out

@@ -12,6 +12,7 @@ from repro.harness.runner import (
     ExperimentResult,
     run_workload,
     run_iozone,
+    run_iozone_wr,
     run_postmark,
     run_mab,
     run_seismic,
@@ -26,6 +27,7 @@ __all__ = [
     "run_fleet",
     "run_workload",
     "run_iozone",
+    "run_iozone_wr",
     "run_postmark",
     "run_mab",
     "run_seismic",

@@ -47,22 +47,32 @@ from repro.core.setups import (
 )
 from repro.core.topology import (
     CLIENT_PROXY_PORT,
+    GRID_META_PORT,
     NFS_PORT,
     SERVER_PROXY_PORT,
     Testbed,
 )
 from repro.crypto.drbg import Drbg
 from repro.faults import FaultPlan, resolve_fault_preset
+from repro.grid import (
+    GridMetadataClient,
+    GridMetadataProgram,
+    GridMetadataService,
+    GridRouter,
+)
+from repro.grid.layout import DEFAULT_BLOCK_SIZE
 from repro.gsi import CertificateAuthority, DistinguishedName, Gridmap
 from repro.gsi.gridmap import UnmappedPolicy
 from repro.nfs import protocol as pr
 from repro.nfs.protocol import FileHandle
 from repro.nfs.v4 import NFS_V4
 from repro.proxy.accounts import Account
-from repro.proxy.client_proxy import SgfsClientProxy
+from repro.proxy.client_proxy import SgfsClientProxy, UpstreamSession
 from repro.proxy.server_proxy import SgfsServerProxy
 from repro.rpc.auth import AuthSys
+from repro.rpc.server import RpcServer
 from repro.rpc.transport import StreamTransport
+from repro.sim import Interrupt
 from repro.sim.sync import Channel
 from repro.tls import SecurityConfig
 from repro.tls.channel import client_handshake
@@ -87,6 +97,9 @@ class FleetClientResult:
     start: float
     end: float
     phases: Dict[str, float] = field(default_factory=dict)
+    #: payload bytes this client's workload actually moved, when the
+    #: workload reports them (``workload.bytes_moved``); None otherwise
+    bytes_moved: Optional[int] = None
 
     @property
     def total(self) -> float:
@@ -117,11 +130,31 @@ class FleetResult:
     #: exports keep the N clients apart
     tracer: Optional[object] = None
 
-    def aggregate_throughput(self, bytes_per_client: int) -> float:
-        """Fleet-wide rate in bytes per virtual second, given how many
-        payload bytes each client's workload moved."""
+    def aggregate_throughput(self, bytes_per_client: Optional[int] = None) -> float:
+        """Fleet-wide rate in bytes per virtual second.
+
+        With no argument, computes the rate from the **actual** bytes
+        each client reported moving (``per_client[i].bytes_moved``) —
+        correct for mixed workloads and runs where some clients moved
+        fewer bytes than planned (e.g. under fault schedules).
+
+        Passing ``bytes_per_client`` keeps the historical convenience
+        estimate ``clients * bytes_per_client / makespan``, which
+        **over-reports** whenever clients don't all move exactly that
+        many bytes; use it only for uniform workloads that don't report
+        ``bytes_moved``.
+        """
         if self.makespan <= 0.0:
             return 0.0
+        if bytes_per_client is None:
+            counts = [c.bytes_moved for c in self.per_client]
+            if any(b is None for b in counts):
+                missing = [c.name for c in self.per_client if c.bytes_moved is None]
+                raise ValueError(
+                    f"clients {missing} did not report bytes_moved; pass "
+                    f"bytes_per_client for the per-client estimate instead"
+                )
+            return sum(counts) / self.makespan
         return self.clients * bytes_per_client / self.makespan
 
     @property
@@ -181,6 +214,9 @@ def run_fleet(
     session_tickets: bool = False,
     reconnect_interval: Optional[float] = None,
     batch_records: int = 1,
+    servers: int = 1,
+    replicas: int = 1,
+    grid_block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> FleetResult:
     """Run ``clients`` concurrent workload instances against one server.
 
@@ -215,6 +251,16 @@ def run_fleet(
     upstream session every T virtual seconds (exercising resumption);
     ``batch_records=K`` coalesces up to K outbound server-proxy records
     into one amortized sealing operation.
+
+    ``servers=N`` (with N > 1) shards the data plane: N backend NFS
+    servers each behind their own server-side proxy, one metadata
+    service on the home server mapping each grid-created file's
+    ``grid_block_size`` block ranges round-robin across them, and every
+    client striping block I/O over N upstream sessions
+    (:mod:`repro.grid`).  ``replicas=K`` writes each block to K
+    consecutive backends, so a crashed backend's blocks stay readable.
+    ``servers=1`` takes the exact single-server code path — results are
+    bit-identical to a build without the knob.
     """
     if clients < 1:
         raise ValueError("fleet needs at least one client")
@@ -222,6 +268,13 @@ def run_fleet(
         raise ValueError(f"{setup} is a single-session design; fleets unsupported")
     if setup not in ("nfs-v3", "nfs-v4", "gfs") and setup not in _SUITES:
         raise ValueError(f"unknown fleet setup {setup!r}")
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if not 1 <= replicas <= servers:
+        raise ValueError(f"replicas must be in [1, servers]; got {replicas}")
+    grid = servers > 1
+    if grid and setup in ("nfs-v3", "nfs-v4"):
+        raise ValueError("sharded data plane (servers > 1) requires a proxied setup")
     kw = dict(setup_kwargs or {})
     cache_bytes = kw.pop("cache_bytes", None)
     disk_cache = kw.pop("disk_cache", False)
@@ -233,7 +286,7 @@ def run_fleet(
     tb = Testbed.build(
         rtt=rtt, cal=cal, telemetry=telemetry, tracing=tracing,
         server_workers=server_workers, vfs_locking=True, profile=profile,
-        server_cores=server_cores,
+        server_cores=server_cores, servers=servers,
     )
     sim = tb.sim
     proxied = setup not in ("nfs-v3", "nfs-v4")
@@ -296,6 +349,40 @@ def run_fleet(
         )
         server_proxy.start()
 
+    # -- sharded data plane: backend proxies + the metadata service --------
+    backend_proxies: List[Optional[SgfsServerProxy]] = [server_proxy]
+    if grid:
+        for b in range(1, servers):
+            backend = tb.backends[b]
+            bcfg = None
+            if secure:
+                bcfg = SecurityConfig.for_session(
+                    host_id, [ca.certificate], suite, fast_ciphers=True,
+                    rng=rng.fork(f"server-tls-s{b}"),
+                    session_tickets=session_tickets,
+                    batch_records=batch_records,
+                )
+            bproxy = SgfsServerProxy(
+                sim, backend.host, SERVER_PROXY_PORT, NFS_PORT,
+                accounts=tb.server_accounts, gridmap=gridmap, fs=backend.fs,
+                security=bcfg, cost=cal.proxy_cost, account="proxy",
+                blocking=True, enable_acls=True,
+                session_identity=None if secure else USER_DN,
+                acl_disk=backend.disk,
+            )
+            bproxy.start()
+            backend_proxies.append(bproxy)
+        grid_service = GridMetadataService(
+            width=servers, replicas=replicas, block_size=grid_block_size,
+            obs=tb.obs,
+        )
+        meta_rpc = RpcServer(
+            sim, cpu=tb.server.cpu, cost=cal.kernel_server_cost,
+            account="grid-meta", name="grid-meta",
+        )
+        meta_rpc.register(GridMetadataProgram(grid_service))
+        meta_rpc.serve_listener(tb.server.listen(GRID_META_PORT))
+
     # -- per-client namespaces and workload preparation --------------------
     # Subdirectories are created out of band (setup scripts run as root
     # server-side), then chowned to the session owner, so every client's
@@ -312,6 +399,22 @@ def run_fleet(
             workload.prepare(scoped)
         workloads.append((workload, node))
 
+    # Mirror the per-client subdirectories onto every extra backend (out
+    # of band, like the home-side mkdirs above) and record each client's
+    # per-backend root handles for the stripe router.
+    grid_roots: List[Dict[int, FileHandle]] = []
+    if grid:
+        for i, name in enumerate(names):
+            node = workloads[i][1]
+            handles = {0: FileHandle(tb.fs.fsid, node.fileid, node.generation)}
+            for b in range(1, servers):
+                bfs = tb.backends[b].fs
+                bnode = bfs.mkdir(bfs.root.fileid, name, ROOT_CRED)
+                bfs.setattr(bnode.fileid, ROOT_CRED,
+                            uid=owners[i].uid, gid=owners[i].gid)
+                handles[b] = FileHandle(bfs.fsid, bnode.fileid, bnode.generation)
+            grid_roots.append(handles)
+
     # -- faults -------------------------------------------------------------
     plan = None
     fault_spec = resolve_fault_preset(faults)
@@ -321,6 +424,21 @@ def run_fleet(
         handlers = {"server": (tb.crash_nfs_server, tb.restart_nfs_server)}
         if server_proxy is not None and hasattr(server_proxy, "crash"):
             handlers["server-proxy"] = (server_proxy.crash, server_proxy.restart)
+        if grid:
+            # "backendN" crashes backend N's whole stack: its kernel NFS
+            # server and its server-side proxy go down together
+            for b in range(1, servers):
+                def _crash(b=b, p=backend_proxies[b]):
+                    tb.crash_backend(b)
+                    if p is not None:
+                        p.crash()
+
+                def _restart(b=b, p=backend_proxies[b]):
+                    tb.restart_backend(b)
+                    if p is not None:
+                        p.restart()
+
+                handlers[f"backend{b}"] = (_crash, _restart)
         plan.schedule(handlers)
 
     # -- client processes ---------------------------------------------------
@@ -332,7 +450,7 @@ def run_fleet(
     def client_proc(i: int):
         host, name = hosts[i], names[i]
         workload, node = workloads[i]
-        cycling = None
+        cycler_proc = None
         try:
             if stagger and i:
                 yield sim.timeout(stagger * i)
@@ -341,38 +459,68 @@ def run_fleet(
             if proxied:
                 cfg = client_cfgs[i]
 
-                def upstream_factory(cfg=cfg, host=host):
-                    sock = yield from host.connect("server", SERVER_PROXY_PORT)
-                    if cfg is None:
-                        return StreamTransport(sock)
-                    channel = yield from client_handshake(
-                        sim, sock, cfg, cpu=host.cpu, account="proxy"
-                    )
-                    return channel
+                def make_factory(target, cfg=cfg, host=host):
+                    def upstream_factory():
+                        sock = yield from host.connect(target, SERVER_PROXY_PORT)
+                        if cfg is None:
+                            return StreamTransport(sock)
+                        channel = yield from client_handshake(
+                            sim, sock, cfg, cpu=host.cpu, account="proxy"
+                        )
+                        return channel
 
+                    return upstream_factory
+
+                router = None
+                if grid:
+                    # Leg 0 (home/namespace) keeps the patient hard-mount
+                    # retry budget; data legs fail fast so a crashed
+                    # backend surfaces as an RpcError the router can
+                    # fail over from, instead of minutes of backoff.
+                    legs = [
+                        UpstreamSession(sim, make_factory(tb.backends[b].name))
+                        if b == 0 else
+                        UpstreamSession(
+                            sim, make_factory(tb.backends[b].name),
+                            retry_max=2, retry_base=0.25, retry_cap=2.0,
+                        )
+                        for b in range(servers)
+                    ]
+                    meta = GridMetadataClient(
+                        sim, host, "server", GRID_META_PORT
+                    )
+                    router = GridRouter(
+                        sim, legs, meta, width=servers, replicas=replicas,
+                        block_size=grid_block_size, obs=tb.obs,
+                    )
+                    router.add_root(node.fileid, grid_roots[i])
                 proxy = SgfsClientProxy(
                     sim, host, CLIENT_PROXY_PORT,
-                    upstream_factory=upstream_factory,
+                    upstream_factory=None if grid else make_factory("server"),
                     cost=cal.proxy_cost, account="proxy",
                     cache=_cache_config(tb, disk_cache),
                     disk=_cache_disk(tb, disk_cache),
                     blocking=True,
+                    grid=router,
                 )
                 yield from proxy.start()
                 if reconnect_interval:
                     # Periodic session refresh: tears the upstream TLS
                     # session down and re-handshakes (abbreviated, when
-                    # tickets are on) until this client's workload ends.
-                    cycling = [True]
+                    # tickets are on) until this client's workload ends,
+                    # at which point the finally below interrupts it —
+                    # no cycle may fire after the workload completes.
+                    def cycler(proxy=proxy):
+                        try:
+                            while True:
+                                yield sim.timeout(reconnect_interval)
+                                yield from proxy.cycle_upstream()
+                        except Interrupt:
+                            return
 
-                    def cycler(proxy=proxy, live=cycling):
-                        while live[0]:
-                            yield sim.timeout(reconnect_interval)
-                            if not live[0]:
-                                return
-                            yield from proxy.cycle_upstream()
-
-                    sim.spawn(cycler(), name=f"session-cycler:{name}")
+                    cycler_proc = sim.spawn(
+                        cycler(), name=f"session-cycler:{name}"
+                    )
                 cred = AuthSys(uid=JOB_ACCOUNT.uid, gid=JOB_ACCOUNT.gid,
                                machinename=name)
                 client = yield from _kernel_client(
@@ -400,12 +548,16 @@ def run_fleet(
             results[i] = FleetClientResult(
                 name=name, start=start, end=sim.now,
                 phases=dict(getattr(workload, "results", {})),
+                bytes_moved=getattr(workload, "bytes_moved", None),
             )
         except BaseException as exc:  # surfaced after the join below
             errors.append(exc)
         finally:
-            if cycling is not None:
-                cycling[0] = False
+            # Tear the session cycler down *before* signaling completion:
+            # a cycle firing after the workload finished would quiesce a
+            # session nothing will use again and perturb shutdown order.
+            if cycler_proc is not None and cycler_proc.alive:
+                cycler_proc.interrupt("client workload complete")
             done.put(i)
 
     for i in range(clients):

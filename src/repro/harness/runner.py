@@ -226,6 +226,18 @@ def run_iozone(setup: str, rtt: float = 0.0, file_size: int = 16 * 1024 * 1024,
     )
 
 
+def run_iozone_wr(setup: str, rtt: float = 0.0, file_size: int = 256 * 1024,
+                  cal: Calibration = DEFAULT_CALIBRATION,
+                  setup_kwargs: Optional[dict] = None,
+                  **obs_kwargs) -> ExperimentResult:
+    from repro.workloads.iozone import IOzoneWriteRead
+
+    return run_workload(
+        setup, lambda: IOzoneWriteRead(file_size=file_size), rtt=rtt, cal=cal,
+        setup_kwargs=setup_kwargs, **obs_kwargs,
+    )
+
+
 def run_postmark(setup: str, rtt: float = 0.0,
                  config: Optional[PostMarkConfig] = None,
                  cal: Calibration = DEFAULT_CALIBRATION,

@@ -24,6 +24,7 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullRegistry,
     Registry,
+    GAUGE_METRICS,
     merge_metric,
     percentile,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "Histogram",
     "LATENCY_BOUNDS",
     "NULL_REGISTRY",
+    "GAUGE_METRICS",
     "merge_metric",
     "NullRegistry",
     "Registry",

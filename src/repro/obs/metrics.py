@@ -201,7 +201,29 @@ class _NullInstrument:
 NULL_INSTRUMENT = _NullInstrument()
 
 
-def merge_metric(old, new):
+#: Base metric names (label suffixes stripped) with **gauge** semantics:
+#: they report a *level*, not an accumulated count, so summing colliding
+#: reports is wrong — ``queue_depth`` 3 and 5 across two sessions is a
+#: worst case of 5, not a fleet-wide depth of 8.  Colliding gauges merge
+#: by max, which is order-independent and therefore deterministic no
+#: matter which collector registered first.
+GAUGE_METRICS = frozenset(
+    {
+        "queue_depth",
+        "sessions_queued",
+        "layout_cache_entries",
+        "shadow_handles",
+        "dirty_bytes",
+    }
+)
+
+
+def _base_name(name: str) -> str:
+    brace = name.find("{")
+    return name if brace < 0 else name[:brace]
+
+
+def merge_metric(old, new, name: str = ""):
     """Combine two exported metric values reported under one name.
 
     With a fleet of N clients, every session's caches and proxies report
@@ -209,8 +231,13 @@ def merge_metric(old, new):
     used to keep whichever collector ran last (last-writer-wins), which
     silently under-reported every per-session counter.  Merging rules:
 
-    - two numbers sum (counter semantics — the overwhelming case),
+    - two numbers **sum** when the name has counter semantics (the
+      overwhelming case), but merge by **max** when ``name`` (labels
+      stripped) is in :data:`GAUGE_METRICS` — gauges report levels, and
+      summing levels across sessions fabricates a depth no queue ever
+      had,
     - two dicts merge recursively key-by-key (cache-stats triples),
+      passing each key down as the name for the gauge check,
     - anything else keeps the newer value (non-summable payloads).
 
     Booleans are deliberately *not* summed: ``True + True == 2`` would
@@ -219,11 +246,13 @@ def merge_metric(old, new):
     if isinstance(old, bool) or isinstance(new, bool):
         return new
     if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        if _base_name(name) in GAUGE_METRICS:
+            return max(old, new)
         return old + new
     if isinstance(old, dict) and isinstance(new, dict):
         merged = dict(old)
         for k, v in new.items():
-            merged[k] = merge_metric(merged[k], v) if k in merged else v
+            merged[k] = merge_metric(merged[k], v, name=k) if k in merged else v
         return merged
     return new
 
@@ -298,7 +327,7 @@ class Registry:
             bucket = out.setdefault(component, {})
             for name, value in fn().items():
                 if name in bucket:
-                    bucket[name] = merge_metric(bucket[name], value)
+                    bucket[name] = merge_metric(bucket[name], value, name=name)
                 else:
                     bucket[name] = value
         return {c: dict(sorted(m.items())) for c, m in sorted(out.items())}

@@ -301,9 +301,9 @@ def build_report(
     snap = tb.obs.snapshot() if tb.obs.enabled else {}
     report["locks"] = snap.get("sync", {})
     rpc_q: Dict[str, Any] = {}
-    server = getattr(tb, "nfs_rpc_server", None)
     rpc_meta = snap.get("rpc.server", {})
-    if server is not None:
+
+    def _queue_entry(server) -> Dict[str, Any]:
         timeline = getattr(server, "queue_timeline", [])
         entry: Dict[str, Any] = {
             "samples": len(timeline),
@@ -312,10 +312,21 @@ def build_report(
                 sum(d for _t, d in timeline) / len(timeline) if timeline else 0.0
             ),
         }
+        # queue metrics are labeled per RPC server; keep each backend's
+        # own rows so a sharded run shows per-backend utilization
+        label = f"{{server={server.name}}}"
         for key, value in rpc_meta.items():
-            if key.startswith("queue_wait") or key.startswith("queue_depth"):
+            if (key.startswith("queue_wait") or key.startswith("queue_depth")) \
+                    and key.endswith(label):
                 entry[key] = value
-        rpc_q[server.name] = entry
+        return entry
+
+    rpc_servers = [b.rpc_server for b in getattr(tb, "backends", None) or []]
+    if not rpc_servers:
+        home = getattr(tb, "nfs_rpc_server", None)
+        rpc_servers = [home] if home is not None else []
+    for server in rpc_servers:
+        rpc_q[server.name] = _queue_entry(server)
     report["rpc_queue"] = rpc_q
 
     # -- critical path and span self-time -----------------------------------

@@ -208,6 +208,179 @@ class _CallRouter:
         self._drain_ev = None
 
 
+class UpstreamSession:
+    """One recoverable proxy-to-server leg: transport + router + retry.
+
+    Extracted from :class:`SgfsClientProxy` so the striped data plane
+    (:mod:`repro.grid`) can hold one leg per backend server while the
+    single-server proxy keeps exactly one.  The leg owns the rewritten
+    xid stream (shared across router generations so the upstream DRC
+    recognizes retries), the reconnect gate, and the backoff budget.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        upstream_factory: Callable[[], "object"],
+        stats: Optional[dict] = None,
+        timeo: Optional[float] = None,
+        retrans: int = 2,
+        retry_max: int = 5,
+        retry_base: float = 0.5,
+        retry_backoff: float = 2.0,
+        retry_cap: float = 10.0,
+    ):
+        self.sim = sim
+        self.upstream_factory = upstream_factory
+        #: counter sink — the owning proxy shares its stats dict so
+        #: ``upstream_retries`` lands in the proxy.client collector
+        self.stats = stats if stats is not None else {}
+        #: reply timeout / same-record retransmission budget per attempt
+        #: (None = wait forever, the historical mode)
+        self.timeo = timeo
+        self.retrans = retrans
+        #: reconnect-and-retry budget when the leg fails
+        self.retry_max = retry_max
+        self.retry_base = retry_base
+        self.retry_backoff = retry_backoff
+        self.retry_cap = retry_cap
+        self.transport: Optional[Transport] = None
+        self.router: Optional[_CallRouter] = None
+        #: rewritten-xid source, shared across router generations so a
+        #: retried call keeps its xid (the upstream DRC keys on it)
+        self._fwd_xids = itertools.count(0x7000_0001)
+        #: in-progress upstream reconnect (Event), if any
+        self._reconnecting: Optional[Event] = None
+
+    def connect(self):
+        """Process generator: establish the transport and start the pump."""
+        self.transport = yield from self.upstream_factory()
+        self.router = _CallRouter(
+            self.sim, self.transport, xid_source=self._fwd_xids.__next__
+        )
+        return self
+
+    def close(self) -> None:
+        if self.transport is not None:
+            try:
+                self.transport.close()
+            except Exception:
+                pass
+
+    def forward(self, call: CallMessage):
+        """Forward upstream, surviving timeouts and transport death.
+
+        The rewritten xid and encoded record are fixed once, so every
+        retransmission — including those sent over a *replacement*
+        connection after the server-side proxy restarts — is the same
+        request to the upstream DRC, which replays rather than
+        re-executes non-idempotent procedures."""
+        assert self.router is not None
+        xid = self.router.allocate_xid()
+        rewritten = CallMessage(
+            xid, call.prog, call.vers, call.proc, call.cred, call.verf, call.args
+        )
+        record = rewritten.encode()
+        failures = 0
+        while True:
+            router = self.router
+            try:
+                reply = yield from router.forward_record(
+                    xid,
+                    record,
+                    timeout=self.timeo,
+                    retrans=self.retrans,
+                )
+                return reply
+            except RpcError:
+                failures += 1
+                if failures > self.retry_max:
+                    raise
+                self.stats["upstream_retries"] = (
+                    self.stats.get("upstream_retries", 0) + 1
+                )
+                yield self.sim.timeout(
+                    min(
+                        self.retry_cap,
+                        self.retry_base
+                        * self.retry_backoff ** (failures - 1),
+                    )
+                )
+                yield from self.ensure(router)
+
+    def ensure(self, failed_router: _CallRouter):
+        """Replace a dead upstream connection, at most one attempt at a
+        time across all concurrent callers.
+
+        A failed attempt returns (the caller's backoff loop retries
+        within its own budget) rather than looping here, so total
+        patience is governed by ``retry_max``."""
+        if self.router is not failed_router:
+            return  # another caller already replaced it
+        if self._reconnecting is not None:
+            yield self._reconnecting
+            return
+        gate = self._reconnecting = self.sim.event(name="cproxy-reconnect")
+        try:
+            try:
+                upstream = yield from self.upstream_factory()
+            except Exception:
+                return  # server proxy still down; caller backs off
+            old = self.transport
+            self.transport = upstream
+            self.router = _CallRouter(
+                self.sim, upstream, xid_source=self._fwd_xids.__next__
+            )
+            if old is not None:
+                try:
+                    old.close()
+                except Exception:
+                    pass
+        finally:
+            self._reconnecting = None
+            gate.succeed(None)
+
+    def cycle(self):
+        """Process generator: proactively tear down and re-establish the
+        upstream session (operator-driven reconnects: proxy restarts,
+        credential rollover, periodic session refresh).
+
+        The new connection handshakes *before* the old one closes, so
+        in-flight calls either complete on the old transport or fail
+        over through their normal retry path.  With session tickets
+        enabled the replacement handshake resumes abbreviated."""
+        if self._reconnecting is not None:
+            yield self._reconnecting
+            return
+        gate = self._reconnecting = self.sim.event(name="cproxy-cycle")
+        try:
+            try:
+                upstream = yield from self.upstream_factory()
+            except Exception:
+                return  # server proxy down; keep the session we have
+            old, self.transport = self.transport, upstream
+            old_router, self.router = self.router, _CallRouter(
+                self.sim, upstream, xid_source=self._fwd_xids.__next__
+            )
+            if old_router is not None:
+                # New calls already go to the replacement session; let
+                # in-flight replies land on the old one before closing.
+                yield from old_router.quiesce(timeout=1.0)
+            if old is not None:
+                try:
+                    old.close()
+                except Exception:
+                    pass
+            if old_router is not None:
+                # A locally-closed socket never wakes its own reader, so
+                # the old pump can't fail leftovers itself: anything
+                # still unanswered fails over to the new session now.
+                old_router._fail_all(RpcError("upstream session cycled"))
+        finally:
+            self._reconnecting = None
+            gate.succeed(None)
+
+
 class SgfsClientProxy:
     """The client-side proxy process."""
 
@@ -216,7 +389,7 @@ class SgfsClientProxy:
         sim: Simulator,
         host,
         listen_port: int,
-        upstream_factory: Callable[[], "object"],
+        upstream_factory: Optional[Callable[[], "object"]] = None,
         cost: CostProfile = FREE_PROFILE,
         account: str = "proxy",
         cache: Optional[ProxyCacheConfig] = None,
@@ -229,6 +402,7 @@ class SgfsClientProxy:
         upstream_retry_base: float = 0.5,
         upstream_retry_backoff: float = 2.0,
         upstream_retry_cap: float = 10.0,
+        grid=None,
     ):
         """``upstream_factory()`` is a process generator returning a
         connected Transport to the server-side proxy (this is where the
@@ -239,7 +413,14 @@ class SgfsClientProxy:
         leaves the session and verified+opened when fetched back, so the
         file server only ever stores ciphertext (§7 future work).
         Requires ``cache.enabled`` with ``write_back`` — the block cache
-        is what aligns all data movement to sealable units."""
+        is what aligns all data movement to sealable units.
+
+        ``grid`` (a :class:`repro.grid.GridRouter`) replaces the single
+        upstream leg with a striped multi-backend data plane: the router
+        owns one :class:`UpstreamSession` per backend server and fans
+        block I/O out according to the metadata service's layout.  The
+        proxy's ``_upstream``/``upstream_timeo`` views then refer to the
+        home (namespace) leg."""
         self.sim = sim
         self.host = host
         self.listen_port = listen_port
@@ -257,23 +438,19 @@ class SgfsClientProxy:
             raise ValueError(
                 "at-rest protection requires the disk cache with write-back"
             )
-        #: reply timeout / same-record retransmission budget per attempt
-        #: on the upstream leg (None = wait forever, the historical mode)
-        self.upstream_timeo = upstream_timeo
-        self.upstream_retrans = upstream_retrans
-        #: reconnect-and-retry budget when the upstream leg fails
-        self.upstream_retry_max = upstream_retry_max
-        self.upstream_retry_base = upstream_retry_base
-        self.upstream_retry_backoff = upstream_retry_backoff
-        self.upstream_retry_cap = upstream_retry_cap
+        self.grid = grid
+        if grid is not None:
+            #: home (namespace) leg: leg 0 of the grid router
+            self._leg = grid.legs[0]
+        else:
+            self._leg = UpstreamSession(
+                sim, upstream_factory,
+                timeo=upstream_timeo, retrans=upstream_retrans,
+                retry_max=upstream_retry_max, retry_base=upstream_retry_base,
+                retry_backoff=upstream_retry_backoff,
+                retry_cap=upstream_retry_cap,
+            )
         self._listener = None
-        self._router: Optional[_CallRouter] = None
-        self._upstream: Optional[Transport] = None
-        #: rewritten-xid source, shared across router generations so a
-        #: retried call keeps its xid (the upstream DRC keys on it)
-        self._fwd_xids = itertools.count(0x7000_0001)
-        #: in-progress upstream reconnect (Event), if any
-        self._reconnecting: Optional[Event] = None
         #: duplicate-request cache for the kernel client's leg: the
         #: proxy rewrites xids upstream, so each serving hop needs its
         #: own DRC for exactly-once semantics of non-idempotent calls
@@ -317,15 +494,60 @@ class SgfsClientProxy:
             "revalidations": 0,
             "revalidation_drops": 0,
         }
+        for leg in self._all_legs():
+            leg.stats = self.stats
+
+    # -- upstream leg views --------------------------------------------------
+    # The recovery machinery lives in UpstreamSession; these properties
+    # keep the proxy's historical surface (tests and the fault harness
+    # read _upstream / set upstream_timeo directly).
+
+    def _all_legs(self):
+        return self.grid.legs if self.grid is not None else [self._leg]
+
+    @property
+    def _upstream(self) -> Optional[Transport]:
+        return self._leg.transport
+
+    @property
+    def _router(self) -> Optional[_CallRouter]:
+        return self._leg.router
+
+    @property
+    def upstream_timeo(self) -> Optional[float]:
+        return self._leg.timeo
+
+    @upstream_timeo.setter
+    def upstream_timeo(self, value: Optional[float]) -> None:
+        for leg in self._all_legs():
+            leg.timeo = value
+
+    @property
+    def upstream_retrans(self) -> int:
+        return self._leg.retrans
+
+    @upstream_retrans.setter
+    def upstream_retrans(self, value: int) -> None:
+        for leg in self._all_legs():
+            leg.retrans = value
+
+    @property
+    def upstream_retry_max(self) -> int:
+        return self._leg.retry_max
+
+    @upstream_retry_max.setter
+    def upstream_retry_max(self, value: int) -> None:
+        for leg in self._all_legs():
+            leg.retry_max = value
 
     # -- lifecycle ------------------------------------------------------------
 
     def start(self):
         """Process generator: connect upstream, then start accepting."""
-        self._upstream = yield from self.upstream_factory()
-        self._router = _CallRouter(
-            self.sim, self._upstream, xid_source=self._fwd_xids.__next__
-        )
+        if self.grid is not None:
+            yield from self.grid.connect()
+        else:
+            yield from self._leg.connect()
         self._listener = self.host.listen(self.listen_port)
         self.sim.spawn(self._accept_loop(), name=f"sgfs-cproxy:{self.listen_port}")
         if self.cache.enabled and self.cache.flush_age is not None:
@@ -537,117 +759,18 @@ class SgfsClientProxy:
         return reply
 
     def _forward_with_recovery(self, call: CallMessage):
-        """Forward upstream, surviving timeouts and transport death.
-
-        The rewritten xid and encoded record are fixed once, so every
-        retransmission — including those sent over a *replacement*
-        connection after the server-side proxy restarts — is the same
-        request to the upstream DRC, which replays rather than
-        re-executes non-idempotent procedures."""
-        assert self._router is not None
-        xid = self._router.allocate_xid()
-        rewritten = CallMessage(
-            xid, call.prog, call.vers, call.proc, call.cred, call.verf, call.args
-        )
-        record = rewritten.encode()
-        failures = 0
-        while True:
-            router = self._router
-            try:
-                reply = yield from router.forward_record(
-                    xid,
-                    record,
-                    timeout=self.upstream_timeo,
-                    retrans=self.upstream_retrans,
-                )
-                return reply
-            except RpcError:
-                failures += 1
-                if failures > self.upstream_retry_max:
-                    raise
-                self.stats["upstream_retries"] = (
-                    self.stats.get("upstream_retries", 0) + 1
-                )
-                yield self.sim.timeout(
-                    min(
-                        self.upstream_retry_cap,
-                        self.upstream_retry_base
-                        * self.upstream_retry_backoff ** (failures - 1),
-                    )
-                )
-                yield from self._ensure_upstream(router)
-
-    def _ensure_upstream(self, failed_router: _CallRouter):
-        """Replace a dead upstream connection, at most one attempt at a
-        time across all concurrent callers.
-
-        A failed attempt returns (the caller's backoff loop retries
-        within its own budget) rather than looping here, so total
-        patience is governed by ``upstream_retry_max``."""
-        if self._router is not failed_router:
-            return  # another caller already replaced it
-        if self._reconnecting is not None:
-            yield self._reconnecting
-            return
-        gate = self._reconnecting = self.sim.event(name="cproxy-reconnect")
-        try:
-            try:
-                upstream = yield from self.upstream_factory()
-            except Exception:
-                return  # server proxy still down; caller backs off
-            old = self._upstream
-            self._upstream = upstream
-            self._router = _CallRouter(
-                self.sim, upstream, xid_source=self._fwd_xids.__next__
-            )
-            if old is not None:
-                try:
-                    old.close()
-                except Exception:
-                    pass
-        finally:
-            self._reconnecting = None
-            gate.succeed(None)
+        """Forward upstream with retry/reconnect; grid-routed when the
+        striped data plane is attached (see :class:`UpstreamSession`)."""
+        if self.grid is not None:
+            return (yield from self.grid.forward(call))
+        return (yield from self._leg.forward(call))
 
     def cycle_upstream(self):
         """Process generator: proactively tear down and re-establish the
-        upstream session (operator-driven reconnects: proxy restarts,
-        credential rollover, periodic session refresh).
-
-        The new connection handshakes *before* the old one closes, so
-        in-flight calls either complete on the old transport or fail
-        over through their normal retry path.  With session tickets
-        enabled the replacement handshake resumes abbreviated."""
-        if self._reconnecting is not None:
-            yield self._reconnecting
-            return
-        gate = self._reconnecting = self.sim.event(name="cproxy-cycle")
-        try:
-            try:
-                upstream = yield from self.upstream_factory()
-            except Exception:
-                return  # server proxy down; keep the session we have
-            old, self._upstream = self._upstream, upstream
-            old_router, self._router = self._router, _CallRouter(
-                self.sim, upstream, xid_source=self._fwd_xids.__next__
-            )
-            if old_router is not None:
-                # New calls already go to the replacement session; let
-                # in-flight replies land on the old one before closing.
-                yield from old_router.quiesce(timeout=1.0)
-            if old is not None:
-                try:
-                    old.close()
-                except Exception:
-                    pass
-            if old_router is not None:
-                # A locally-closed socket never wakes its own reader, so
-                # the old pump can't fail leftovers itself: anything
-                # still unanswered fails over to the new session now.
-                old_router._fail_all(RpcError("upstream session cycled"))
-        finally:
-            self._reconnecting = None
-            gate.succeed(None)
+        upstream session(s) — every backend leg in index order when the
+        grid data plane is attached (see :meth:`UpstreamSession.cycle`)."""
+        for leg in self._all_legs():
+            yield from leg.cycle()
 
     def _handle(self, call: CallMessage):
         if call.cred.flavor != 0:

@@ -14,13 +14,14 @@ Every workload drives only the public mountpoint API
 application over a kernel mount.
 """
 
-from repro.workloads.iozone import IOzoneReadReread
+from repro.workloads.iozone import IOzoneReadReread, IOzoneWriteRead
 from repro.workloads.postmark import PostMark, PostMarkConfig
 from repro.workloads.mab import ModifiedAndrewBenchmark, SourceTree
 from repro.workloads.seismic import Seismic, SeismicConfig
 
 __all__ = [
     "IOzoneReadReread",
+    "IOzoneWriteRead",
     "PostMark",
     "PostMarkConfig",
     "ModifiedAndrewBenchmark",

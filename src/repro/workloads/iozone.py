@@ -29,6 +29,9 @@ class IOzoneReadReread:
     block_size: int = 32768
     path: str = "/iozone.tmp"
     results: Dict[str, float] = field(default_factory=dict)
+    #: payload bytes actually moved through the mount (both passes);
+    #: fleet accounting reads this for measured aggregate throughput
+    bytes_moved: int = 0
 
     def prepare(self, tb: Testbed) -> None:
         """Materialize the file server-side and preload it (no disk I/O),
@@ -58,6 +61,65 @@ class IOzoneReadReread:
                 if not data:
                     raise AssertionError(f"short read at {pos}")
                 pos += len(data)
+                self.bytes_moved += len(data)
+            self.results[passno] = sim.now - t_pass
+        yield from mount.client.close(f)
+        self.results["total"] = sim.now - t0
+        return self.results["total"]
+
+
+@dataclass
+class IOzoneWriteRead:
+    """Sequential write, fsync, then verified read/reread of one file.
+
+    Unlike :class:`IOzoneReadReread` (whose dataset is materialized
+    server-side out of band), this workload creates its file *through
+    the mount*, so on a sharded fleet the file registers with the grid
+    metadata service and its blocks stripe across the backends.  Both
+    read passes verify content against the written pattern, so silently
+    lost or corrupted stripes fail the run rather than skewing it.
+    """
+
+    file_size: int = 256 * 1024
+    block_size: int = 32768
+    path: str = "/iozone-wr.tmp"
+    results: Dict[str, float] = field(default_factory=dict)
+    #: bytes moved through the mount: one write + two read passes
+    bytes_moved: int = 0
+
+    def _pattern(self, offset: int, length: int) -> bytes:
+        chunk = bytes(range(256)) * 256  # 64 KB repeating pattern
+        start = offset % len(chunk)
+        data = (chunk[start:] + chunk * (length // len(chunk) + 1))[:length]
+        return data
+
+    def run(self, mount: Mount):
+        """Process generator: write, fsync, verified read ×2."""
+        sim = mount.tb.sim
+        t0 = sim.now
+        f = yield from mount.client.open(self.path, create=True, truncate=True)
+        t_pass = sim.now
+        pos = 0
+        while pos < self.file_size:
+            n = min(self.block_size, self.file_size - pos)
+            yield from mount.client.write(f, pos, self._pattern(pos, n))
+            pos += n
+            self.bytes_moved += n
+        yield from mount.client.fsync(f)
+        self.results["write"] = sim.now - t_pass
+        for passno in ("read", "reread"):
+            t_pass = sim.now
+            pos = 0
+            while pos < self.file_size:
+                n = min(self.block_size, self.file_size - pos)
+                data = yield from mount.client.read(f, pos, n)
+                if len(data) != n:
+                    raise AssertionError(
+                        f"short read at {pos}: {len(data)} != {n}")
+                if data != self._pattern(pos, n):
+                    raise AssertionError(f"corrupt data at offset {pos}")
+                pos += n
+                self.bytes_moved += n
             self.results[passno] = sim.now - t_pass
         yield from mount.client.close(f)
         self.results["total"] = sim.now - t0

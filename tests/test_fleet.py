@@ -191,3 +191,73 @@ def test_ticketless_fleet_stats_unchanged():
     r = run_fleet("sgfs-aes", _iozone, clients=2)
     assert not any("resumptions" in k for k in r.stats.get("tls", {}))
     assert not any("full_handshakes" in k for k in r.stats.get("tls", {}))
+
+
+# -- fleet accounting and teardown fixes --------------------------------------
+
+
+def test_aggregate_throughput_measured_vs_estimate():
+    from repro.workloads.iozone import IOzoneWriteRead
+
+    r = run_fleet("sgfs-sha", lambda: IOzoneWriteRead(file_size=FS), clients=2)
+    # Every client reports its actual byte total...
+    assert all(c.bytes_moved == 3 * FS for c in r.per_client)
+    # ...and the no-argument form measures from those totals, matching
+    # the legacy per-client estimate only when the estimate is honest.
+    assert r.aggregate_throughput() == (2 * 3 * FS) / r.makespan
+    assert r.aggregate_throughput(3 * FS) == r.aggregate_throughput()
+    # An inflated per-client guess over-reports; the measured form can't.
+    assert r.aggregate_throughput(4 * FS) > r.aggregate_throughput()
+
+
+def test_aggregate_throughput_measured_requires_byte_counts():
+    # Workloads that don't report bytes_moved can't be silently scored
+    # as zero throughput -- the measured form refuses instead.
+    from repro.harness import FleetClientResult, FleetResult
+
+    r = FleetResult(
+        setup="nfs-v3", clients=2, makespan=2.0,
+        per_client=[
+            FleetClientResult(name="c0", start=0.0, end=2.0, bytes_moved=4096),
+            FleetClientResult(name="c1", start=0.0, end=1.0),
+        ],
+    )
+    with pytest.raises(ValueError, match="c1"):
+        r.aggregate_throughput()
+    assert r.aggregate_throughput(4096) == 2 * 4096 / 2.0
+
+
+def test_reconnect_cyclers_stop_at_client_completion(monkeypatch):
+    """Reconnect cyclers must be torn down when their client's workload
+    finishes: a straggler client must not keep the finished clients'
+    proxies churning through handshakes until the fleet drains."""
+    from repro.proxy.client_proxy import SgfsClientProxy
+
+    cycles = []
+    real_cycle = SgfsClientProxy.cycle_upstream
+
+    def recording_cycle(self):
+        cycles.append((self.host.name, self.sim.now))
+        return real_cycle(self)
+
+    monkeypatch.setattr(SgfsClientProxy, "cycle_upstream", recording_cycle)
+
+    def staggered(i):
+        # client 0 moves 8x the bytes of the others -> finishes last
+        return IOzoneReadReread(file_size=(8 * FS if i == 0 else FS))
+
+    r = run_fleet(
+        "sgfs-aes", staggered, clients=3,
+        session_tickets=True, reconnect_interval=0.005,
+    )
+    ends = {c.name: c.end for c in r.per_client}
+    assert max(ends.values()) == ends["c0"]
+    assert cycles, "reconnect fleet never cycled"
+    for host, when in cycles:
+        assert when <= ends[host] + 1e-12, (
+            f"{host} cycled at {when:.6f}s, after its workload "
+            f"ended at {ends[host]:.6f}s"
+        )
+    # The short-lived clients really did stop early while c0 ran on.
+    assert any(host != "c0" for host, _ in cycles)
+    assert max(t for h, t in cycles if h != "c0") < ends["c0"]

@@ -459,3 +459,40 @@ def test_registry_snapshot_merges_colliding_collectors():
         reg.add_collector("nfs.cache", lambda hits=hits: {"hits": hits})
     snap = reg.snapshot()
     assert snap["nfs.cache"]["hits"] == 7
+
+
+def test_merge_metric_gauges_take_max_not_sum():
+    """Level-style metrics (queue depths, cache entry counts) from N
+    colliding collectors must merge by max: summing two snapshots of a
+    6-deep queue does not make it 12 deep (the gauge regression this
+    guards)."""
+    from repro.obs import GAUGE_METRICS, merge_metric
+
+    assert "queue_depth" in GAUGE_METRICS
+    assert merge_metric(6, 4, name="queue_depth") == 6
+    assert merge_metric(4, 6, name="queue_depth") == 6
+    # labelled spellings strip to the base name
+    assert merge_metric(6, 4, name="queue_depth{server=nfsd}") == 6
+    # counters still sum, even with labels
+    assert merge_metric(6, 4, name="queue_wait{server=nfsd}") == 10
+    # the gauge rule applies through nested dict merges
+    merged = merge_metric(
+        {"queue_depth": 6, "calls": 10},
+        {"queue_depth": 4, "calls": 7},
+    )
+    assert merged == {"queue_depth": 6, "calls": 17}
+
+
+def test_registry_snapshot_merges_gauges_by_max():
+    reg = Registry()
+    for depth, calls in ((6, 10), (4, 7)):
+        reg.add_collector(
+            "rpc.server",
+            lambda depth=depth, calls=calls: {
+                "queue_depth{server=nfsd}": depth,
+                "calls": calls,
+            },
+        )
+    snap = reg.snapshot()
+    assert snap["rpc.server"]["queue_depth{server=nfsd}"] == 6
+    assert snap["rpc.server"]["calls"] == 17
