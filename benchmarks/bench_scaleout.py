@@ -17,7 +17,16 @@ Runs pinned sgfs-aes fleet scenarios on the widened (8x) LAN and writes
   with 32 KB stripe blocks.  The single-backend run saturates the one
   server core; striping spreads block I/O (and its sealing) across the
   backends, and ``grid_ratio_4s_vs_1s`` (must be >= 1.8) is the
-  scale-out acceptance number.
+  scale-out acceptance number;
+- ``wan-*`` — the WAN transfer engine: a 16 MB sgfs-aes IOzone through
+  the caching proxy on the LAN and at 80 ms RTT with streams 1 and 4.
+  Without the engine every cache-miss block costs a round trip; with 4
+  sub-channels and RTT-sized read-ahead windows the 80 ms run must stay
+  within 2x of LAN throughput (``wan_ratio_s4_vs_lan`` >= 0.5).
+  ``wan-80ms-postmark-s{1,4}`` run PostMark against a capacity-squeezed
+  proxy cache so eviction write-back traffic crosses the WAN mid-run;
+  the windowed write-behind + compound envelopes must raise the
+  transaction rate (``postmark_txn_gain_s4_vs_s1`` > 1.0).
 
 Every recorded value is virtual-time and therefore deterministic: the
 committed snapshot must match a fresh run bit-for-bit (CI enforces this
@@ -40,7 +49,7 @@ import json
 import sys
 
 from repro.core.calibration import DEFAULT_CALIBRATION
-from repro.harness import run_fleet
+from repro.harness import run_fleet, run_iozone, run_postmark
 from repro.workloads.iozone import IOzoneReadReread, IOzoneWriteRead
 
 FILE_SIZE = 128 * 1024  # per client, read + reread
@@ -59,6 +68,18 @@ GRID_FILE_SIZE = 1024 * 1024  # per client, written + read + reread
 GRID_BLOCK = 32 * 1024
 MIN_GRID_RATIO = 1.8
 
+# WAN transfer engine scenarios: a single large-file session through the
+# caching proxy (prepared server-side, so the first read pass crosses
+# the wire), on the stock calibration — WAN latency, not LAN bandwidth,
+# is the quantity under test.
+WAN_RTT = 0.080
+WAN_FILE_SIZE = 16 * 1024 * 1024
+WAN_STREAMS = 4
+MIN_WAN_RATIO = 0.5
+#: proxy cache capacity for the PostMark WAN runs — small enough that
+#: eviction write-back traffic crosses the WAN during the timed phases
+PM_CACHE_CAPACITY = 256 * 1024
+
 
 def _fleet(clients: int, cores: int, **kw):
     return run_fleet(
@@ -74,6 +95,57 @@ def _grid_fleet(servers: int):
         servers=servers, grid_block_size=GRID_BLOCK,
         setup_kwargs={"cache_bytes": 64 * 1024},
     )
+
+
+def _wan_iozone(rtt: float, streams: int):
+    return run_iozone(
+        "sgfs-aes", rtt=rtt, file_size=WAN_FILE_SIZE,
+        setup_kwargs={"disk_cache": True, "streams": streams},
+        telemetry=True,
+    )
+
+
+def _wan_measure(result, rtt: float, streams: int) -> dict:
+    pc = result.stats.get("proxy.client", {})
+    bulk_calls = sum(
+        v for k, v in pc.items() if k.startswith("stream_calls{")
+    )
+    return {
+        "rtt": rtt,
+        "streams": streams,
+        "file_size": WAN_FILE_SIZE,
+        "virtual_seconds": result.total,
+        "read_seconds": result.phases["read"],
+        "reread_seconds": result.phases["reread"],
+        # read + reread passes over the file
+        "mb_per_sec": round(2 * WAN_FILE_SIZE / result.total / 1e6, 3),
+        "stream_bulk_calls": bulk_calls,
+    }
+
+
+def _wan_postmark(streams: int):
+    return run_postmark(
+        "sgfs-aes", rtt=WAN_RTT,
+        setup_kwargs={"disk_cache": True, "streams": streams,
+                      "cache_capacity": PM_CACHE_CAPACITY},
+        telemetry=True,
+    )
+
+
+def _pm_measure(result, streams: int) -> dict:
+    pc = result.stats.get("proxy.client", {})
+    txn_seconds = result.phases["transaction"]
+    return {
+        "rtt": WAN_RTT,
+        "streams": streams,
+        "cache_capacity": PM_CACHE_CAPACITY,
+        "virtual_seconds": result.total,
+        "transaction_seconds": txn_seconds,
+        # 1000 transactions is the PostMark default this run uses
+        "txn_per_sec": round(1000 / txn_seconds, 3),
+        "writeback_blocks": pc.get("writeback_blocks", 0),
+        "compound_envelopes": pc.get("compound_envelopes", 0),
+    }
 
 
 def _grid_measure(result, servers: int) -> dict:
@@ -131,21 +203,51 @@ def run_benchmarks() -> dict:
     for servers in (1, 2, 4):
         grid = _grid_fleet(servers)
         out["scenarios"][f"grid-24c-{servers}s"] = _grid_measure(grid, servers)
+    out["scenarios"]["wan-lan-16m"] = _wan_measure(
+        _wan_iozone(0.0, 1), 0.0, 1)
+    for streams in (1, WAN_STREAMS):
+        out["scenarios"][f"wan-80ms-16m-s{streams}"] = _wan_measure(
+            _wan_iozone(WAN_RTT, streams), WAN_RTT, streams)
+        out["scenarios"][f"wan-80ms-postmark-s{streams}"] = _pm_measure(
+            _wan_postmark(streams), streams)
     ratio = (out["scenarios"]["wide-16c-4core"]["aggregate_mb_per_sec"]
              / out["scenarios"]["base-8c-1core"]["aggregate_mb_per_sec"])
     out["throughput_ratio_vs_base"] = round(ratio, 3)
     grid_ratio = (out["scenarios"]["grid-24c-4s"]["aggregate_mb_per_sec"]
                   / out["scenarios"]["grid-24c-1s"]["aggregate_mb_per_sec"])
     out["grid_ratio_4s_vs_1s"] = round(grid_ratio, 3)
+    wan_ratio = (out["scenarios"][f"wan-80ms-16m-s{WAN_STREAMS}"]["mb_per_sec"]
+                 / out["scenarios"]["wan-lan-16m"]["mb_per_sec"])
+    out["wan_ratio_s4_vs_lan"] = round(wan_ratio, 3)
+    pm_gain = (
+        out["scenarios"][f"wan-80ms-postmark-s{WAN_STREAMS}"]["txn_per_sec"]
+        / out["scenarios"]["wan-80ms-postmark-s1"]["txn_per_sec"])
+    out["postmark_txn_gain_s4_vs_s1"] = round(pm_gain, 3)
     for label, m in out["scenarios"].items():
+        if label.startswith("wan-"):
+            continue
         extra = (f"striped_r={m['striped_reads']} striped_w={m['striped_writes']}"
                  if "striped_reads" in m else
                  f"full_hs={m['tls_full_handshakes']} "
                  f"resumed={m['tls_resumptions']}")
         print(f"  {label:16s} {m['aggregate_mb_per_sec']:8.1f} MB/s  "
               f"makespan {m['makespan_virtual_seconds']:.5f}s  {extra}")
+    for label in ("wan-lan-16m", "wan-80ms-16m-s1",
+                  f"wan-80ms-16m-s{WAN_STREAMS}"):
+        m = out["scenarios"][label]
+        print(f"  {label:18s} {m['mb_per_sec']:8.2f} MB/s  "
+              f"total {m['virtual_seconds']:.3f}s  streams={m['streams']}")
+    for label in ("wan-80ms-postmark-s1",
+                  f"wan-80ms-postmark-s{WAN_STREAMS}"):
+        m = out["scenarios"][label]
+        print(f"  {label:18s} {m['txn_per_sec']:8.1f} txn/s  "
+              f"txn phase {m['transaction_seconds']:.3f}s  "
+              f"streams={m['streams']}")
     print(f"  throughput ratio 16c/4core vs 8c/1core: {ratio:.2f}x")
     print(f"  grid throughput ratio 4 backends vs 1: {grid_ratio:.2f}x")
+    print(f"  wan 80ms throughput vs lan (streams={WAN_STREAMS}): "
+          f"{wan_ratio:.2f}x")
+    print(f"  wan postmark txn-rate gain s{WAN_STREAMS} vs s1: {pm_gain:.2f}x")
     return out
 
 
@@ -177,11 +279,37 @@ def check(result: dict) -> int:
             f"expected exactly 8 full handshakes (initial connections), "
             f"got {resume['tls_full_handshakes']}"
         )
+    wan_ratio = result["wan_ratio_s4_vs_lan"]
+    if wan_ratio < MIN_WAN_RATIO:
+        failures.append(
+            f"80ms WAN throughput with {WAN_STREAMS} streams is "
+            f"{wan_ratio:.2f}x of LAN, below the {MIN_WAN_RATIO:.1f}x floor"
+        )
+    wan_s4 = result["scenarios"][f"wan-80ms-16m-s{WAN_STREAMS}"]
+    if wan_s4["stream_bulk_calls"] <= 0:
+        failures.append(
+            "multi-stream WAN run recorded no sub-channel bulk calls"
+        )
+    pm_gain = result["postmark_txn_gain_s4_vs_s1"]
+    if pm_gain <= 1.0:
+        failures.append(
+            f"WAN PostMark txn rate did not improve with {WAN_STREAMS} "
+            f"streams (gain {pm_gain:.2f}x)"
+        )
+    pm_s4 = result["scenarios"][f"wan-80ms-postmark-s{WAN_STREAMS}"]
+    if pm_s4["writeback_blocks"] <= 0 or pm_s4["compound_envelopes"] <= 0:
+        failures.append(
+            f"WAN PostMark run never exercised windowed write-back "
+            f"(blocks={pm_s4['writeback_blocks']}, "
+            f"envelopes={pm_s4['compound_envelopes']})"
+        )
     for msg in failures:
         print(f"FAIL: {msg}")
     if not failures:
         print(f"OK: {ratio:.2f}x >= {MIN_RATIO:.1f}x, "
               f"grid {grid_ratio:.2f}x >= {MIN_GRID_RATIO:.1f}x, "
+              f"wan {wan_ratio:.2f}x >= {MIN_WAN_RATIO:.1f}x, "
+              f"postmark gain {pm_gain:.2f}x, "
               f"{resume['tls_resumptions']} resumptions")
     return 1 if failures else 0
 
@@ -192,8 +320,11 @@ def main(argv=None) -> int:
                         help="output path (default: BENCH_SCALEOUT.json)")
     parser.add_argument("--check", action="store_true",
                         help="fail unless the multi-core speedup is >= 3x, "
-                             "the 4-backend grid speedup is >= 1.8x, and "
-                             "the reconnect fleet resumed sessions")
+                             "the 4-backend grid speedup is >= 1.8x, the "
+                             "80ms WAN run holds >= 0.5x LAN throughput "
+                             "with 4 streams, the WAN PostMark txn rate "
+                             "improves, and the reconnect fleet resumed "
+                             "sessions")
     args = parser.parse_args(argv)
     print("bench_scaleout (sgfs-aes, fat LAN)")
     result = run_benchmarks()

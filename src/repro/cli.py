@@ -117,6 +117,14 @@ def _parser() -> argparse.ArgumentParser:
                        help="write each grid block to N consecutive "
                             "backends so reads survive a backend crash "
                             "(default: 1 = no replication)")
+    run_p.add_argument("--streams", type=int, default=1,
+                       help="parallel proxy-to-proxy sub-channels per "
+                            "upstream leg; bulk block traffic round-robins "
+                            "across them (default: 1 = single channel)")
+    run_p.add_argument("--pipeline-depth", type=int, default=None,
+                       help="cap on the RTT-sized read-ahead/write-behind "
+                            "window of in-flight blocks (default: engine "
+                            "default when --streams > 1, else off)")
     run_p.add_argument("--stats-json", default=None, metavar="FILE",
                        help="write the cross-layer metrics snapshot to "
                             "FILE as JSON")
@@ -282,6 +290,8 @@ def _cmd_run_fleet(args, kwargs, out) -> int:
             batch_records=args.batch_records,
             servers=args.servers,
             replicas=args.replicas,
+            streams=args.streams,
+            pipeline_depth=args.pipeline_depth,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=out)
@@ -313,6 +323,11 @@ def _cmd_run(args, out) -> int:
             print("error: --disk-cache applies only to proxied setups", file=out)
             return 2
         kwargs["disk_cache"] = True
+    if args.streams > 1 or args.pipeline_depth is not None:
+        if args.setup in ("nfs-v3", "nfs-v4", "gfs-ssh", "sfs"):
+            print("error: --streams/--pipeline-depth apply only to "
+                  "proxied gfs/sgfs setups", file=out)
+            return 2
     if args.clients < 1:
         print("error: --clients must be >= 1", file=out)
         return 2
@@ -330,6 +345,10 @@ def _cmd_run(args, out) -> int:
             print(f"error: {flag} requires a fleet run (--clients >= 2)",
                   file=out)
             return 2
+    if args.streams > 1:
+        kwargs["streams"] = args.streams
+    if args.pipeline_depth is not None:
+        kwargs["pipeline_depth"] = args.pipeline_depth
     result = runner(args.setup, rtt=args.rtt_ms / 1000.0, setup_kwargs=kwargs or None,
                     faults=args.faults, fault_seed=args.fault_seed)
     rtt_label = "LAN" if args.rtt_ms == 0 else f"{args.rtt_ms:g}ms RTT"

@@ -158,7 +158,8 @@ def setup_nfs_v4(tb: Testbed, cache_bytes: Optional[int] = None) -> Mount:
 
 
 def _make_session_pki(tb: Testbed, suite: str, fast_ciphers: bool = True,
-                      renegotiate_interval: Optional[float] = None):
+                      renegotiate_interval: Optional[float] = None,
+                      session_tickets: bool = False):
     """CA + user & server credentials + the two SecurityConfigs."""
     rng = Drbg("sgfs-session")
     ca = CertificateAuthority(CA_DN, rng=rng.fork("ca"), key_bits=1024, now=tb.sim.now)
@@ -167,10 +168,11 @@ def _make_session_pki(tb: Testbed, suite: str, fast_ciphers: bool = True,
     client_cfg = SecurityConfig.for_session(
         user, [ca.certificate], suite, fast_ciphers=fast_ciphers,
         rng=rng.fork("client-tls"), renegotiate_interval=renegotiate_interval,
+        session_tickets=session_tickets,
     )
     server_cfg = SecurityConfig.for_session(
         host, [ca.certificate], suite, fast_ciphers=fast_ciphers,
-        rng=rng.fork("server-tls"),
+        rng=rng.fork("server-tls"), session_tickets=session_tickets,
     )
     return ca, user, host, client_cfg, server_cfg
 
@@ -188,7 +190,11 @@ def _ensure_accounts(tb: Testbed) -> None:
         tb.client_accounts.add(JOB_ACCOUNT)
 
 
-def _cache_config(tb: Testbed, disk_cache: bool, write_back: bool = True) -> ProxyCacheConfig:
+def _cache_config(tb: Testbed, disk_cache: bool, write_back: bool = True,
+                  cache_capacity: Optional[int] = None) -> ProxyCacheConfig:
+    kw = {}
+    if cache_capacity is not None:
+        kw["capacity_bytes"] = cache_capacity
     return ProxyCacheConfig(
         enabled=disk_cache,
         cache_data=True,
@@ -196,6 +202,7 @@ def _cache_config(tb: Testbed, disk_cache: bool, write_back: bool = True) -> Pro
         cache_access=True,
         write_back=write_back,
         block_size=tb.cal.block_size,
+        **kw,
     )
 
 
@@ -215,7 +222,10 @@ def _proxied_mount(tb: Testbed, label: str, upstream_factory,
                    server_security, disk_cache: bool,
                    cache_bytes: Optional[int], enable_acls: bool = True,
                    blocking: bool = True, write_back: bool = True,
-                   acl_cache_enabled: bool = True, cryptor=None) -> Mount:
+                   acl_cache_enabled: bool = True, cryptor=None,
+                   streams: int = 1,
+                   pipeline_depth: Optional[int] = None,
+                   cache_capacity: Optional[int] = None) -> Mount:
     """Build server proxy + client proxy + kernel client."""
     _ensure_accounts(tb)
     server_proxy = SgfsServerProxy(
@@ -232,10 +242,13 @@ def _proxied_mount(tb: Testbed, label: str, upstream_factory,
         tb.sim, tb.client, CLIENT_PROXY_PORT,
         upstream_factory=upstream_factory,
         cost=tb.cal.proxy_cost, account="proxy",
-        cache=_cache_config(tb, disk_cache, write_back=write_back),
+        cache=_cache_config(tb, disk_cache, write_back=write_back,
+                            cache_capacity=cache_capacity),
         disk=_cache_disk(tb, disk_cache),
         blocking=blocking,
         cryptor=cryptor,
+        streams=streams,
+        pipeline_depth=pipeline_depth,
     )
 
     cred = AuthSys(uid=JOB_ACCOUNT.uid, gid=JOB_ACCOUNT.gid, machinename="client")
@@ -253,7 +266,10 @@ def _proxied_mount(tb: Testbed, label: str, upstream_factory,
 
 
 def setup_gfs(tb: Testbed, disk_cache: bool = False,
-              cache_bytes: Optional[int] = None) -> Mount:
+              cache_bytes: Optional[int] = None,
+              streams: int = 1,
+              pipeline_depth: Optional[int] = None,
+              cache_capacity: Optional[int] = None) -> Mount:
     """The basic (insecure) grid file system [16]: user-level proxies
     with credential mapping, no channel protection."""
 
@@ -262,7 +278,9 @@ def setup_gfs(tb: Testbed, disk_cache: bool = False,
         return StreamTransport(sock)
 
     return _proxied_mount(tb, "gfs", upstream_factory, server_security=None,
-                          disk_cache=disk_cache, cache_bytes=cache_bytes)
+                          disk_cache=disk_cache, cache_bytes=cache_bytes,
+                          streams=streams, pipeline_depth=pipeline_depth,
+                          cache_capacity=cache_capacity)
 
 
 def setup_sgfs(tb: Testbed, suite: str = "aes-256-cbc-sha1",
@@ -270,13 +288,22 @@ def setup_sgfs(tb: Testbed, suite: str = "aes-256-cbc-sha1",
                fast_ciphers: bool = True,
                renegotiate_interval: Optional[float] = None,
                blocking: bool = True, write_back: bool = True,
-               acl_cache_enabled: bool = True, at_rest: bool = False) -> Mount:
+               acl_cache_enabled: bool = True, at_rest: bool = False,
+               streams: int = 1, pipeline_depth: Optional[int] = None,
+               session_tickets: bool = False,
+               cache_capacity: Optional[int] = None) -> Mount:
     """SGFS: the paper's contribution.  ``suite`` picks the per-session
     security configuration — "null-sha1" (sgfs-sha), "rc4-128-sha1"
-    (sgfs-rc) or "aes-256-cbc-sha1" (sgfs-aes)."""
+    (sgfs-rc) or "aes-256-cbc-sha1" (sgfs-aes).
+
+    ``streams > 1`` opens that many parallel proxy-to-proxy
+    sub-channels; session tickets are forced on so channels 1..N-1
+    resume the keys channel 0 negotiated instead of paying N full RSA
+    handshakes."""
     _ca, _user, _host, client_cfg, server_cfg = _make_session_pki(
         tb, suite, fast_ciphers=fast_ciphers,
         renegotiate_interval=renegotiate_interval,
+        session_tickets=session_tickets or streams > 1,
     )
     cryptor = None
     if at_rest:
@@ -302,7 +329,9 @@ def setup_sgfs(tb: Testbed, suite: str = "aes-256-cbc-sha1",
                            disk_cache=disk_cache, cache_bytes=cache_bytes,
                            blocking=blocking, write_back=write_back,
                            acl_cache_enabled=acl_cache_enabled,
-                           cryptor=cryptor)
+                           cryptor=cryptor, streams=streams,
+                           pipeline_depth=pipeline_depth,
+                           cache_capacity=cache_capacity)
     mount.extras["client_security"] = client_cfg
     mount.extras["server_security"] = server_cfg
     if cryptor is not None:

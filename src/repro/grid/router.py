@@ -40,6 +40,13 @@ Correctness details worth knowing:
   file it writes and patches home GETATTR/LOOKUP replies with it — the
   single-writer-session relaxation the SGFS proxy cache already relies
   on.
+
+Multi-stream legs: the router itself is stream-agnostic — each
+:class:`~repro.proxy.client_proxy.UpstreamSession` leg may be built
+with ``streams=N`` and round-robins the bulk calls the router forwards
+across its own sub-channels; determinism is preserved because the
+router joins fan-outs in spawn order regardless of which sub-channel
+carried each call.
 """
 
 from __future__ import annotations

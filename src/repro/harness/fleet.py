@@ -217,6 +217,8 @@ def run_fleet(
     servers: int = 1,
     replicas: int = 1,
     grid_block_size: int = DEFAULT_BLOCK_SIZE,
+    streams: int = 1,
+    pipeline_depth: Optional[int] = None,
 ) -> FleetResult:
     """Run ``clients`` concurrent workload instances against one server.
 
@@ -261,6 +263,14 @@ def run_fleet(
     consecutive backends, so a crashed backend's blocks stay readable.
     ``servers=1`` takes the exact single-server code path — results are
     bit-identical to a build without the knob.
+
+    ``streams=N`` (with N > 1) opens N parallel proxy-to-proxy
+    sub-channels per upstream leg (bulk block traffic round-robins
+    across them) and ``pipeline_depth`` caps the RTT-sized read-ahead/
+    write-behind windows — the WAN transfer engine.  Secure setups
+    force session tickets on so sub-channels resume rather than repeat
+    the full handshake.  ``streams=1`` with no pipeline depth is the
+    exact historical code path.
     """
     if clients < 1:
         raise ValueError("fleet needs at least one client")
@@ -291,6 +301,10 @@ def run_fleet(
     sim = tb.sim
     proxied = setup not in ("nfs-v3", "nfs-v4")
     secure = setup in _SUITES
+    streams = max(1, int(streams))
+    if streams > 1 and secure:
+        # sub-channels 1..N-1 resume channel 0's session keys
+        session_tickets = True
 
     # -- per-client identities, accounts, and the shared policy ------------
     rng = Drbg(session_seed)
@@ -478,11 +492,15 @@ def run_fleet(
                     # backend surfaces as an RpcError the router can
                     # fail over from, instead of minutes of backoff.
                     legs = [
-                        UpstreamSession(sim, make_factory(tb.backends[b].name))
+                        UpstreamSession(
+                            sim, make_factory(tb.backends[b].name),
+                            streams=streams, name=f"leg{b}",
+                        )
                         if b == 0 else
                         UpstreamSession(
                             sim, make_factory(tb.backends[b].name),
                             retry_max=2, retry_base=0.25, retry_cap=2.0,
+                            streams=streams, name=f"leg{b}",
                         )
                         for b in range(servers)
                     ]
@@ -501,6 +519,8 @@ def run_fleet(
                     cache=_cache_config(tb, disk_cache),
                     disk=_cache_disk(tb, disk_cache),
                     blocking=True,
+                    streams=streams,
+                    pipeline_depth=pipeline_depth,
                     grid=router,
                 )
                 yield from proxy.start()

@@ -1,11 +1,12 @@
 """Setup-preset names shared by the CLI and the experiment runner.
 
-A preset is a setup name with an optional ``lan-``/``wan-`` environment
-prefix (LAN = 0 RTT, WAN = 40 ms) and an optional ``-cache`` suffix
-enabling the proxy disk cache — e.g. ``wan-sgfs-cache`` or ``lan-nfs``
-(``nfs`` aliases ``nfs-v3``).  Historically only ``repro.cli`` spoke
-this dialect and :func:`repro.harness.runner.run_workload` rejected it;
-both now accept either spelling.
+A preset is a setup name with an optional ``lan-``/``wan-``/``wan80-``
+environment prefix (LAN = 0 RTT, WAN = 40 ms, WAN80 = 80 ms) and an
+optional ``-cache`` suffix enabling the proxy disk cache — e.g.
+``wan-sgfs-cache`` or ``lan-nfs`` (``nfs`` aliases ``nfs-v3``).
+Historically only ``repro.cli`` spoke this dialect and
+:func:`repro.harness.runner.run_workload` rejected it; both now accept
+either spelling.
 """
 
 from __future__ import annotations
@@ -18,6 +19,10 @@ from repro.core.setups import SETUP_BUILDERS
 #: 40 ms as its canonical wide-area configuration).
 WAN_RTT = 0.040
 
+#: RTT for the ``wan80-`` prefix — the far end of the paper's Figure-8
+#: RTT sweep, used by the multi-stream WAN throughput experiments.
+WAN80_RTT = 0.080
+
 _SETUP_ALIASES = {"nfs": "nfs-v3"}
 
 
@@ -25,14 +30,17 @@ def resolve_preset(name: str) -> Tuple[str, float, Optional[dict]]:
     """Resolve a setup preset name to ``(setup, rtt, setup_kwargs)``.
 
     Accepts a bare setup name (``sgfs``, ``nfs-v3``) or a preset with an
-    optional ``lan-``/``wan-`` environment prefix and an optional
-    ``-cache`` suffix (proxy disk cache), e.g. ``wan-sgfs-cache``.
-    Raises ``ValueError`` on unknown names.
+    optional ``lan-``/``wan-``/``wan80-`` environment prefix and an
+    optional ``-cache`` suffix (proxy disk cache), e.g.
+    ``wan-sgfs-cache``.  Raises ``ValueError`` on unknown names.
     """
     rest = name
     rtt = 0.0
     if rest.startswith("lan-"):
         rest = rest[len("lan-"):]
+    elif rest.startswith("wan80-"):
+        rest = rest[len("wan80-"):]
+        rtt = WAN80_RTT
     elif rest.startswith("wan-"):
         rest = rest[len("wan-"):]
         rtt = WAN_RTT
@@ -44,7 +52,7 @@ def resolve_preset(name: str) -> Tuple[str, float, Optional[dict]]:
     if rest not in SETUP_BUILDERS:
         raise ValueError(
             f"unknown setup {name!r}; setups are {sorted(SETUP_BUILDERS)} "
-            f"with optional lan-/wan- prefix and -cache suffix"
+            f"with optional lan-/wan-/wan80- prefix and -cache suffix"
         )
     if setup_kwargs and rest in ("nfs-v3", "nfs-v4"):
         raise ValueError(f"{name!r}: -cache applies only to proxied setups")

@@ -329,6 +329,21 @@ def build_report(
         rpc_q[server.name] = _queue_entry(server)
     report["rpc_queue"] = rpc_q
 
+    # -- WAN transfer engine: per-sub-channel traffic -----------------------
+    # The client proxy labels per-channel bulk traffic as
+    # ``stream_calls{leg=...,ch=...}`` / ``stream_bytes{...}`` in its
+    # stats collector; surface one row per (leg, channel).
+    streams: Dict[str, Any] = {}
+    for key, value in snap.get("proxy.client", {}).items():
+        if not key.startswith(("stream_calls{", "stream_bytes{")):
+            continue
+        metric, label = key.split("{", 1)
+        label = label.rstrip("}")
+        row = streams.setdefault(label, {"calls": 0, "bytes": 0})
+        row["calls" if metric == "stream_calls" else "bytes"] = value
+    if streams:
+        report["streams"] = streams
+
     # -- critical path and span self-time -----------------------------------
     tracer = tb.tracer
     if tracer is not None and tracer.enabled:
@@ -430,6 +445,13 @@ def format_report(report: Dict[str, Any], width: int = 72) -> str:
             f"rpc queue {name}: samples={v['samples']} "
             f"max_depth={v['max_depth']} mean_depth={v['mean_depth']:.2f}"
         )
+    if report.get("streams"):
+        lines.append("")
+        lines.append("wan streams (bulk calls per sub-channel):")
+        for label, v in sorted(report["streams"].items()):
+            lines.append(
+                f"  {label:<28} calls={v['calls']:<8} bytes={v['bytes']}"
+            )
     cp = report.get("critical_path")
     if cp:
         lines.append("")

@@ -24,27 +24,47 @@ consistency protocols of [46] (out of scope, see DESIGN.md).
 from __future__ import annotations
 
 import itertools
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.nfs import protocol as pr
 from repro.obs import NULL_SPAN
 from repro.nfs.protocol import Fattr3, FileHandle, NfsStatus, Proc
 from repro.rpc.auth import NULL_AUTH
+from repro.rpc.compound import (
+    COMPOUND_EXEC,
+    COMPOUND_PROGRAM,
+    COMPOUND_VERSION,
+    pack_members,
+    unpack_members,
+)
 from repro.rpc.costs import CostProfile, FREE_PROFILE, charge_profile
 from repro.rpc.drc import DuplicateRequestCache, REPLAY, WAIT, drc_key
 from repro.rpc.errors import RpcError, RpcTimeout, RpcTransportError
 from repro.rpc.messages import CallMessage, ReplyMessage
 from repro.rpc.transport import StreamTransport, Transport
 from repro.sim.core import Event, Simulator
-from repro.sim.process import any_of
+from repro.sim.process import all_of, any_of
 from repro.sim.sync import Gate
 from repro.vfs.disk import DiskModel
 from repro.xdr import Packer
 
 #: NFS procedures that must not re-execute on a duplicate request.
 _NFS_NON_IDEMPOTENT = frozenset(int(p) for p in pr.NON_IDEMPOTENT_PROCS)
+
+#: bulk data procedures — the traffic round-robined across sub-channels
+_BULK_PROCS = frozenset((int(pr.Proc.READ), int(pr.Proc.WRITE)))
+
+#: EWMA gain for the per-session RTT estimators (RFC 6298's 1/8)
+_RTT_ALPHA = 0.125
+#: floor on the bulk-minus-small service-time estimate (virtual seconds)
+#: so a leg whose bulk calls are barely slower than its control calls
+#: cannot demand an unbounded window
+_RTT_FLOOR = 1e-4
+#: pipeline-window cap when --pipeline-depth is not given
+DEFAULT_PIPELINE_DEPTH = 64
 
 
 @dataclass
@@ -208,6 +228,22 @@ class _CallRouter:
         self._drain_ev = None
 
 
+class _SubChannel:
+    """One extra WAN sub-channel of an :class:`UpstreamSession`.
+
+    Channel 0 lives in the session's historical ``transport``/``router``
+    fields; channels 1..N-1 each hold their own transport + router pair
+    (sharing the session's rewritten-xid stream) and their own reconnect
+    gate, so a dead sub-channel fails over independently."""
+
+    __slots__ = ("transport", "router", "reconnecting")
+
+    def __init__(self) -> None:
+        self.transport: Optional[Transport] = None
+        self.router: Optional[_CallRouter] = None
+        self.reconnecting: Optional[Event] = None
+
+
 class UpstreamSession:
     """One recoverable proxy-to-server leg: transport + router + retry.
 
@@ -216,6 +252,14 @@ class UpstreamSession:
     single-server proxy keeps exactly one.  The leg owns the rewritten
     xid stream (shared across router generations so the upstream DRC
     recognizes retries), the reconnect gate, and the backoff budget.
+
+    With ``streams > 1`` the leg becomes a DotDFS-style parallel
+    transfer pipe: N concurrent sub-channels (each its own TCP socket +
+    TLS record stream, dialed sequentially so ticket resumption chains
+    the session keys), with bulk READ/WRITE traffic round-robined
+    across channels and everything else pinned to channel 0.  All
+    channels draw xids from the one shared stream, so the server-side
+    DRC recognizes a retry no matter which channel carries it.
     """
 
     def __init__(
@@ -229,6 +273,8 @@ class UpstreamSession:
         retry_base: float = 0.5,
         retry_backoff: float = 2.0,
         retry_cap: float = 10.0,
+        streams: int = 1,
+        name: str = "up",
     ):
         self.sim = sim
         self.upstream_factory = upstream_factory
@@ -251,39 +297,118 @@ class UpstreamSession:
         self._fwd_xids = itertools.count(0x7000_0001)
         #: in-progress upstream reconnect (Event), if any
         self._reconnecting: Optional[Event] = None
+        #: parallel sub-channel count; channels 1..N-1 live in _subs
+        self.streams = max(1, int(streams))
+        self.name = name
+        self._subs: List[_SubChannel] = [
+            _SubChannel() for _ in range(self.streams - 1)
+        ]
+        #: round-robin cursor for bulk READ/WRITE traffic
+        self._rr_bulk = 0
+        #: smoothed RTT estimators (virtual seconds, deterministic):
+        #: small control RPCs approximate the raw round trip, bulk block
+        #: RPCs add the per-block service time — their gap sizes the
+        #: pipeline window (see :meth:`window`)
+        self.srtt_small: Optional[float] = None
+        self.srtt_bulk: Optional[float] = None
 
     def connect(self):
-        """Process generator: establish the transport and start the pump."""
+        """Process generator: establish the transport(s), start the pumps.
+
+        Extra sub-channels dial strictly one after another: each
+        handshake deposits a fresh session ticket in the client's
+        single-slot store, so channel k+1 resumes the keys channel k
+        negotiated and the dial order — hence the whole run — stays
+        deterministic."""
         self.transport = yield from self.upstream_factory()
         self.router = _CallRouter(
             self.sim, self.transport, xid_source=self._fwd_xids.__next__
         )
+        for sub in self._subs:
+            sub.transport = yield from self.upstream_factory()
+            sub.router = _CallRouter(
+                self.sim, sub.transport, xid_source=self._fwd_xids.__next__
+            )
         return self
 
     def close(self) -> None:
-        if self.transport is not None:
-            try:
-                self.transport.close()
-            except Exception:
-                pass
+        for transport in [self.transport] + [s.transport for s in self._subs]:
+            if transport is not None:
+                try:
+                    transport.close()
+                except Exception:
+                    pass
 
-    def forward(self, call: CallMessage):
+    def _router_for(self, channel: int) -> Optional[_CallRouter]:
+        return self.router if channel == 0 else self._subs[channel - 1].router
+
+    def _pick_channel(self, call: CallMessage) -> int:
+        """Deterministic channel selection: bulk READ/WRITE round-robins
+        across the sub-channels in issue order; everything else (the
+        metadata stream, whose ordering matters) stays on channel 0."""
+        if self.streams == 1:
+            return 0
+        if call.prog == pr.NFS_PROGRAM and call.proc in _BULK_PROCS:
+            channel = self._rr_bulk % self.streams
+            self._rr_bulk += 1
+            return channel
+        return 0
+
+    def _observe_rtt(self, bulk: bool, sample: float) -> None:
+        if bulk:
+            prev = self.srtt_bulk
+            self.srtt_bulk = (
+                sample if prev is None else prev + _RTT_ALPHA * (sample - prev)
+            )
+        else:
+            prev = self.srtt_small
+            self.srtt_small = (
+                sample if prev is None else prev + _RTT_ALPHA * (sample - prev)
+            )
+
+    def window(self, cap: int) -> int:
+        """RTT-sized pipeline depth for this leg: how many bulk blocks
+        should be in flight to hide one round trip (GridFTP-style
+        pipelining, window = RTT / per-block service time).
+
+        Both estimators are virtual-time EWMAs fed by the leg's own
+        forwarded calls, so the same seed always sizes the same windows;
+        until both have a sample the window is one block — the
+        historical stop-and-wait behavior."""
+        if self.srtt_small is None or self.srtt_bulk is None:
+            return 1
+        service = max(self.srtt_bulk - self.srtt_small, _RTT_FLOOR)
+        return max(1, min(cap, math.ceil(self.srtt_small / service)))
+
+    def _note_stream(self, channel: int, nbytes: int) -> None:
+        calls_key = f"stream_calls{{leg={self.name},ch={channel}}}"
+        bytes_key = f"stream_bytes{{leg={self.name},ch={channel}}}"
+        self.stats[calls_key] = self.stats.get(calls_key, 0) + 1
+        self.stats[bytes_key] = self.stats.get(bytes_key, 0) + nbytes
+
+    def forward(self, call: CallMessage, channel: Optional[int] = None):
         """Forward upstream, surviving timeouts and transport death.
 
         The rewritten xid and encoded record are fixed once, so every
         retransmission — including those sent over a *replacement*
         connection after the server-side proxy restarts — is the same
         request to the upstream DRC, which replays rather than
-        re-executes non-idempotent procedures."""
+        re-executes non-idempotent procedures.  ``channel`` pins the
+        call to a specific sub-channel; by default bulk traffic
+        round-robins and control traffic rides channel 0."""
         assert self.router is not None
+        if channel is None:
+            channel = self._pick_channel(call)
         xid = self.router.allocate_xid()
         rewritten = CallMessage(
             xid, call.prog, call.vers, call.proc, call.cred, call.verf, call.args
         )
         record = rewritten.encode()
+        bulk = call.prog == pr.NFS_PROGRAM and call.proc in _BULK_PROCS
+        started = self.sim.now
         failures = 0
         while True:
-            router = self.router
+            router = self._router_for(channel)
             try:
                 reply = yield from router.forward_record(
                     xid,
@@ -291,6 +416,9 @@ class UpstreamSession:
                     timeout=self.timeo,
                     retrans=self.retrans,
                 )
+                self._observe_rtt(bulk, self.sim.now - started)
+                if self.streams > 1:
+                    self._note_stream(channel, len(record))
                 return reply
             except RpcError:
                 failures += 1
@@ -306,7 +434,112 @@ class UpstreamSession:
                         * self.retry_backoff ** (failures - 1),
                     )
                 )
-                yield from self.ensure(router)
+                yield from self._ensure_channel(channel, router)
+
+    def forward_batch(self, calls: List[CallMessage], channel: int = 0):
+        """Process generator: many calls, one compound round trip.
+
+        Member xids are allocated and the member records encoded exactly
+        once, *before* the envelope first goes out: a retransmitted
+        envelope replays byte-identical members, so the server-side DRC
+        recognizes every member of every retransmission.  Returns one
+        ``Optional[ReplyMessage]`` per member, in call order (``None``
+        when the server could not decode or answer that member)."""
+        assert self.router is not None
+        if not calls:
+            return []
+        members = []
+        for call in calls:
+            xid = self.router.allocate_xid()
+            members.append(
+                CallMessage(
+                    xid, call.prog, call.vers, call.proc,
+                    call.cred, call.verf, call.args,
+                ).encode()
+            )
+        env_xid = self.router.allocate_xid()
+        envelope = CallMessage(
+            env_xid, COMPOUND_PROGRAM, COMPOUND_VERSION, COMPOUND_EXEC,
+            args=pack_members(members),
+        ).encode()
+        failures = 0
+        while True:
+            router = self._router_for(channel)
+            try:
+                reply = yield from router.forward_record(
+                    env_xid, envelope,
+                    timeout=self.timeo, retrans=self.retrans,
+                )
+                break
+            except RpcError:
+                failures += 1
+                if failures > self.retry_max:
+                    raise
+                self.stats["upstream_retries"] = (
+                    self.stats.get("upstream_retries", 0) + 1
+                )
+                yield self.sim.timeout(
+                    min(
+                        self.retry_cap,
+                        self.retry_base
+                        * self.retry_backoff ** (failures - 1),
+                    )
+                )
+                yield from self._ensure_channel(channel, router)
+        if self.streams > 1:
+            self._note_stream(channel, len(envelope))
+        self.stats["compound_envelopes"] = (
+            self.stats.get("compound_envelopes", 0) + 1
+        )
+        self.stats["compound_members"] = (
+            self.stats.get("compound_members", 0) + len(calls)
+        )
+        reply.raise_for_status()
+        out: List[Optional[ReplyMessage]] = []
+        for record in unpack_members(reply.results):
+            if not record:
+                out.append(None)
+                continue
+            try:
+                out.append(ReplyMessage.decode(record))
+            except RpcError:
+                out.append(None)
+        return out
+
+    def _ensure_channel(self, channel: int, failed_router: _CallRouter):
+        """Process generator: replace a dead sub-channel connection —
+        channel 0 through the historical :meth:`ensure` gate, extra
+        channels through their own per-channel gates."""
+        if channel == 0:
+            yield from self.ensure(failed_router)
+            return
+        sub = self._subs[channel - 1]
+        if sub.router is not failed_router:
+            return  # another caller already replaced it
+        if sub.reconnecting is not None:
+            yield sub.reconnecting
+            return
+        gate = sub.reconnecting = self.sim.event(
+            name=f"cproxy-reconnect-ch{channel}"
+        )
+        try:
+            try:
+                upstream = yield from self.upstream_factory()
+            except Exception:
+                return  # server proxy still down; caller backs off
+            old = sub.transport
+            sub.transport = upstream
+            sub.router = _CallRouter(
+                self.sim, upstream, xid_source=self._fwd_xids.__next__
+            )
+            if old is not None:
+                try:
+                    old.close()
+                except Exception:
+                    pass
+        finally:
+            sub.reconnecting = None
+            gate.succeed(None)
 
     def ensure(self, failed_router: _CallRouter):
         """Replace a dead upstream connection, at most one attempt at a
@@ -376,6 +609,26 @@ class UpstreamSession:
                 # the old pump can't fail leftovers itself: anything
                 # still unanswered fails over to the new session now.
                 old_router._fail_all(RpcError("upstream session cycled"))
+            # Extra sub-channels cycle the same way, strictly in channel
+            # order (sequential dials keep ticket chaining deterministic).
+            for sub in self._subs:
+                try:
+                    upstream = yield from self.upstream_factory()
+                except Exception:
+                    continue  # keep this sub-channel's current session
+                old, sub.transport = sub.transport, upstream
+                old_router, sub.router = sub.router, _CallRouter(
+                    self.sim, upstream, xid_source=self._fwd_xids.__next__
+                )
+                if old_router is not None:
+                    yield from old_router.quiesce(timeout=1.0)
+                if old is not None:
+                    try:
+                        old.close()
+                    except Exception:
+                        pass
+                if old_router is not None:
+                    old_router._fail_all(RpcError("upstream session cycled"))
         finally:
             self._reconnecting = None
             gate.succeed(None)
@@ -402,6 +655,8 @@ class SgfsClientProxy:
         upstream_retry_base: float = 0.5,
         upstream_retry_backoff: float = 2.0,
         upstream_retry_cap: float = 10.0,
+        streams: int = 1,
+        pipeline_depth: Optional[int] = None,
         grid=None,
     ):
         """``upstream_factory()`` is a process generator returning a
@@ -439,6 +694,17 @@ class SgfsClientProxy:
                 "at-rest protection requires the disk cache with write-back"
             )
         self.grid = grid
+        self.streams = max(1, int(streams))
+        self.pipeline_depth = pipeline_depth
+        #: the WAN transfer engine — windowed read-ahead/write-behind,
+        #: compound envelopes, parallel sub-channels.  Strictly opt-in:
+        #: at the defaults (streams=1, no pipeline depth) every code
+        #: path below is byte-identical to the historical proxy.
+        self._engine = self.streams > 1 or pipeline_depth is not None
+        #: blocks currently being fetched by a read window, so a second
+        #: reader coalesces onto the in-flight fetch instead of
+        #: duplicating it (keyed (fileid, block))
+        self._inflight_reads: Dict[Tuple[int, int], Event] = {}
         if grid is not None:
             #: home (namespace) leg: leg 0 of the grid router
             self._leg = grid.legs[0]
@@ -449,6 +715,7 @@ class SgfsClientProxy:
                 retry_max=upstream_retry_max, retry_base=upstream_retry_base,
                 retry_backoff=upstream_retry_backoff,
                 retry_cap=upstream_retry_cap,
+                streams=self.streams,
             )
         self._listener = None
         #: duplicate-request cache for the kernel client's leg: the
@@ -489,6 +756,7 @@ class SgfsClientProxy:
             "writes_absorbed": 0,
             "writeback_blocks": 0,
             "writeback_bytes": 0,
+            "writeback_errors": 0,
             "blocks_sealed": 0,
             "blocks_opened": 0,
             "revalidations": 0,
@@ -632,6 +900,29 @@ class SgfsClientProxy:
         if dirty:
             self._dirty.setdefault(fileid, set()).add(block)
         yield from self._disk_write(len(data))
+        if self._engine:
+            # LRU eviction, write-behind flavor: once over capacity,
+            # evict down to a low-water mark (capacity minus one
+            # window of blocks) so dirty victims accumulate into one
+            # RTT-sized burst instead of one WAN round trip per
+            # inserted block.  Dirty marks are cleared up front, same
+            # hazard as below.
+            victims = []
+            if self._cache_bytes > self.cache.capacity_bytes:
+                spare = (self._window() - 1) * self.cache.block_size
+                target = max(self.cache.capacity_bytes - spare,
+                             self.cache.capacity_bytes // 2)
+                while self._cache_bytes > target and len(self._blocks) > 1:
+                    vkey, vblock = next(iter(self._blocks.items()))
+                    if vkey == key:
+                        break
+                    del self._blocks[vkey]
+                    self._cache_bytes -= len(vblock.data)
+                    if vblock.dirty:
+                        self._dirty.get(vkey[0], set()).discard(vkey[1])
+                        victims.append((vkey[0], vkey[1], vblock.data))
+            yield from self._writeback_window(victims)
+            return
         # LRU eviction; dirty victims are written back first.
         while self._cache_bytes > self.cache.capacity_bytes and len(self._blocks) > 1:
             vkey, vblock = next(iter(self._blocks.items()))
@@ -905,6 +1196,8 @@ class SgfsClientProxy:
                 results=pr.pack_read_res(NfsStatus.OK, attr, chunk, eof),
             )
         self.stats["data_misses"] += 1
+        if self._engine:
+            return (yield from self._read_window(call, fh, block, count))
         # Fetch the whole block regardless of the requested count.
         fetch = CallMessage(
             call.xid, call.prog, call.vers, call.proc, call.cred, call.verf,
@@ -935,6 +1228,226 @@ class SgfsClientProxy:
         except Exception:
             pass
         return reply
+
+    # -- the WAN transfer engine (streams > 1 or an explicit pipeline
+    # depth) -------------------------------------------------------------
+
+    def _window(self) -> int:
+        cap = (
+            self.pipeline_depth
+            if self.pipeline_depth is not None
+            else DEFAULT_PIPELINE_DEPTH
+        )
+        return max(leg.window(cap) for leg in self._all_legs())
+
+    def _read_window(self, call: CallMessage, fh: FileHandle, block: int,
+                     count: int):
+        """Process generator: windowed read-ahead for a block-cache miss.
+
+        Fetches the demanded block plus up to window-1 sequential
+        successors in one burst.  Determinism rules: target blocks are
+        chosen in ascending order, fetches are issued in that order
+        (grid: one in-flight call per block, striped by the router;
+        single server: blocks round-robin into one compound envelope
+        per sub-channel, spawned in channel order), the joins happen in
+        spawn order, and results are installed in ascending block order
+        — reply arrival order never influences cache state."""
+        bs = self.cache.block_size
+        key = (fh.fileid, block)
+        pending = self._inflight_reads.get(key)
+        if pending is not None:
+            # another reader's window already has this block in flight
+            yield pending
+            data = yield from self._block_get(fh.fileid, block)
+            if data is not None:
+                self.stats["data_hits"] += 1
+                self.stats["local_replies"] += 1
+                attr = self._attrs.get(fh.fileid)
+                size = attr.size if attr is not None else block * bs + len(data)
+                chunk = data[:count]
+                return ReplyMessage(
+                    xid=call.xid,
+                    results=pr.pack_read_res(
+                        NfsStatus.OK, attr, chunk, block * bs + len(chunk) >= size
+                    ),
+                )
+        wanted = [block]
+        attr = self._attrs.get(fh.fileid)
+        if attr is not None:
+            last_block = (attr.size + bs - 1) // bs - 1
+            for nxt in range(block + 1, min(block + self._window(),
+                                            last_block + 1)):
+                if (fh.fileid, nxt) in self._blocks:
+                    continue
+                if (fh.fileid, nxt) in self._inflight_reads:
+                    continue
+                wanted.append(nxt)
+        fetches = []
+        for b in wanted:
+            self._inflight_reads[(fh.fileid, b)] = self.sim.event(
+                name=f"rdwin:{fh.fileid}:{b}"
+            )
+            fetches.append((b, CallMessage(
+                call.xid, call.prog, call.vers, call.proc, call.cred,
+                call.verf, pr.pack_read_args(fh, b * bs, bs),
+            )))
+        demanded = None        # parsed (status, attr, data, eof) for `block`
+        demanded_reply = None  # raw ReplyMessage for `block`
+        self.stats["forwarded"] += len(fetches)
+        try:
+            replies = yield from self._issue_bulk(fetches)
+            for (b, _fetch), reply in zip(fetches, replies):
+                if reply is None:
+                    continue
+                if b == block:
+                    demanded_reply = reply
+                try:
+                    status, rattr, data, eof = pr.unpack_read_res(reply.results)
+                except Exception:
+                    continue
+                if status != NfsStatus.OK:
+                    if b == block:
+                        demanded = (status, rattr, b"", False)
+                    continue
+                if self.cryptor is not None and data:
+                    from repro.proxy.cryptofs import AtRestIntegrityError
+
+                    try:
+                        data = self.cryptor.open(fh.fileid, b, data)
+                        self.stats["blocks_opened"] += 1
+                    except AtRestIntegrityError:
+                        if b == block:
+                            demanded = (NfsStatus.IO, rattr, b"", False)
+                        continue
+                self._remember_attr(fh, rattr)
+                if data:
+                    yield from self._block_put(fh.fileid, b, data, dirty=False)
+                if b == block:
+                    demanded = (status, self._attrs.get(fh.fileid) or rattr,
+                                data, eof)
+        finally:
+            # waiters always wake, even when the fetch failed — they
+            # re-check the cache and fall back to their own fetch
+            for b in wanted:
+                ev = self._inflight_reads.pop((fh.fileid, b), None)
+                if ev is not None and not ev.triggered:
+                    ev.succeed(None)
+        if demanded is not None:
+            status, rattr, data, eof = demanded
+            if status != NfsStatus.OK:
+                return ReplyMessage(
+                    xid=call.xid, results=pr.pack_read_res(status, rattr)
+                )
+            chunk = data[:count]
+            return ReplyMessage(
+                xid=call.xid,
+                results=pr.pack_read_res(status, rattr, chunk, eof),
+            )
+        if demanded_reply is not None:
+            # mirrored from the historical path: an unparseable upstream
+            # reply is passed through unmodified
+            demanded_reply.xid = call.xid
+            return demanded_reply
+        # the window fetch never produced a reply for the demanded
+        # block; fall back to the historical single fetch
+        fetch = CallMessage(
+            call.xid, call.prog, call.vers, call.proc, call.cred, call.verf,
+            pr.pack_read_args(fh, block * bs, bs),
+        )
+        return (yield from self._forward(fetch))
+
+    def _issue_bulk(self, fetches):
+        """Process generator: issue a burst of bulk calls, return one
+        Optional[ReplyMessage] per call in issue order.
+
+        Spawn order, channel grouping, and the join order are all
+        functions of the (deterministic) input list — completion order
+        never leaks into the result."""
+        calls = [c for _b, c in fetches]
+        if self.grid is not None:
+            procs = [
+                self.sim.spawn(self.grid.forward(c), name=f"bulk:{b}")
+                for b, c in fetches
+            ]
+            replies = yield all_of(self.sim, procs)
+            return list(replies)
+        leg = self._leg
+        groups: List[List[int]] = [[] for _ in range(leg.streams)]
+        for i in range(len(calls)):
+            groups[i % leg.streams].append(i)
+        replies: List[Optional[ReplyMessage]] = [None] * len(calls)
+        spawned = []
+        for ch, idxs in enumerate(groups):
+            if not idxs:
+                continue
+            if len(idxs) == 1:
+                # a single call needs no envelope (and single calls are
+                # what feeds the bulk RTT estimator)
+                gen = leg.forward(calls[idxs[0]], channel=ch)
+            else:
+                gen = leg.forward_batch([calls[i] for i in idxs], channel=ch)
+            spawned.append((idxs, self.sim.spawn(gen, name=f"bulk-ch{ch}")))
+        results = yield all_of(self.sim, [p for _idxs, p in spawned])
+        for (idxs, _p), res in zip(spawned, results):
+            if len(idxs) == 1:
+                replies[idxs[0]] = res
+            else:
+                for i, r in zip(idxs, res):
+                    replies[i] = r
+        return replies
+
+    def _writeback_window(self, items):
+        """Process generator: write back ``(fileid, block, data)`` items
+        in RTT-sized bursts (the write-behind half of the engine).
+
+        Items are sealed and issued in list order; statuses are
+        consumed in the same order, so accounting is independent of
+        reply arrival."""
+        if not items:
+            return
+        start = 0
+        while start < len(items):
+            # re-sized per burst: the first burst of a cold session runs
+            # at window 1 and seeds the bulk RTT estimator, widening the
+            # bursts that follow it
+            window = self._window()
+            burst = items[start:start + window]
+            start += len(burst)
+            calls = []
+            kept = []
+            for fileid, blk, data in burst:
+                fh = self._handles.get(fileid)
+                if fh is None:
+                    continue
+                if self.cryptor is not None and data:
+                    data = self.cryptor.seal(fileid, blk, data)
+                    self.stats["blocks_sealed"] += 1
+                kept.append((fileid, blk))
+                calls.append(CallMessage(
+                    0, pr.NFS_PROGRAM, pr.NFS_V3, int(Proc.WRITE),
+                    cred=(self._session_cred
+                          if self._session_cred is not None else NULL_AUTH),
+                    args=pr.pack_write_args(
+                        fh, blk * self.cache.block_size, data, pr.FILE_SYNC
+                    ),
+                ))
+            if not calls:
+                continue
+            replies = yield from self._issue_bulk(
+                list(zip([blk for _f, blk in kept], calls))
+            )
+            for reply in replies:
+                try:
+                    status, _after, nwritten, _cm, _v = pr.unpack_write_res(
+                        reply.results
+                    )
+                except Exception:
+                    status, nwritten = -1, 0
+                if status == NfsStatus.OK:
+                    self.stats["writeback_blocks"] += 1
+                    self.stats["writeback_bytes"] += nwritten
+                else:
+                    self.stats["writeback_errors"] += 1
 
     def _h_write(self, call: CallMessage):
         fh, offset, stable, payload = pr.unpack_write_args(call.args)
@@ -1088,11 +1601,21 @@ class SgfsClientProxy:
             self.stats["writeback_blocks"] += 1
             self.stats["writeback_bytes"] += count
         else:
-            self.stats.setdefault("writeback_errors", 0)
             self.stats["writeback_errors"] += 1
 
     def _flush_file(self, fh: FileHandle):
         dirty = sorted(self._dirty.pop(fh.fileid, set()))
+        if self._engine:
+            items = []
+            for block in dirty:
+                entry = self._blocks.get((fh.fileid, block))
+                if entry is None or not entry.dirty:
+                    continue
+                entry.dirty = False
+                yield from self._disk_read(len(entry.data))
+                items.append((fh.fileid, block, entry.data))
+            yield from self._writeback_window(items)
+            return
         for block in dirty:
             entry = self._blocks.get((fh.fileid, block))
             if entry is None or not entry.dirty:
@@ -1111,12 +1634,31 @@ class SgfsClientProxy:
         before_bytes = self.stats["writeback_bytes"]
         with self.tracer.span("proxy.writeback",
                               cat="proxy") if self.tracer.enabled else NULL_SPAN:
-            for fileid in list(self._dirty.keys()):
-                fh = self._handles.get(fileid)
-                if fh is None:
-                    self._dirty.pop(fileid, None)
-                    continue
-                yield from self._flush_file(fh)
+            if self._engine:
+                # Window the flush across files, not just within one:
+                # teardown after a many-small-files workload (PostMark,
+                # MAB) is otherwise one WAN round trip per file.
+                items = []
+                for fileid in list(self._dirty.keys()):
+                    fh = self._handles.get(fileid)
+                    if fh is None:
+                        self._dirty.pop(fileid, None)
+                        continue
+                    for block in sorted(self._dirty.pop(fileid, set())):
+                        entry = self._blocks.get((fileid, block))
+                        if entry is None or not entry.dirty:
+                            continue
+                        entry.dirty = False
+                        yield from self._disk_read(len(entry.data))
+                        items.append((fileid, block, entry.data))
+                yield from self._writeback_window(items)
+            else:
+                for fileid in list(self._dirty.keys()):
+                    fh = self._handles.get(fileid)
+                    if fh is None:
+                        self._dirty.pop(fileid, None)
+                        continue
+                    yield from self._flush_file(fh)
         return (
             self.stats["writeback_blocks"] - before_blocks,
             self.stats["writeback_bytes"] - before_bytes,

@@ -35,6 +35,7 @@ from repro.proxy.accounts import Account, AccountsDb
 from repro.proxy.acl import AclStore, is_acl_name
 from repro.rpc.auth import AUTH_SYS, AuthSys
 from repro.rpc.client import RpcClient
+from repro.rpc.compound import COMPOUND_PROGRAM, pack_members, unpack_members
 from repro.rpc.costs import CostProfile, FREE_PROFILE, charge_profile
 from repro.rpc.drc import DuplicateRequestCache, REPLAY, WAIT, drc_key
 from repro.rpc.messages import (
@@ -267,21 +268,36 @@ class SgfsServerProxy:
             call = CallMessage.decode(record)
         except Exception:
             return  # garbage on the wire: drop
+        if call.prog == COMPOUND_PROGRAM:
+            yield from self._serve_compound(
+                transport, upstream, call, identity, mapped
+            )
+            return
+        encoded = yield from self._execute_call(upstream, call, identity, mapped)
+        yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
+        yield from self._send_reply(transport, encoded)
+
+    def _execute_call(self, upstream: RpcClient, call: CallMessage,
+                      identity: Optional[DistinguishedName],
+                      mapped: Optional[Account]):
+        """Process generator: DRC + authorize + forward exactly one call;
+        returns the encoded reply record.  Transport charges stay with
+        the caller — a compound envelope charges once for the whole
+        batch, which is the round-trip amortization the engine is for."""
         key = None
         if call.prog == pr.NFS_PROGRAM and call.proc in _NFS_NON_IDEMPOTENT:
             # keyed on the pre-remap credential: the duplicate carries
-            # the same client identity/xid whichever session it rode in on
+            # the same client identity/xid whichever session (or
+            # sub-channel, or envelope) it rode in on
             key = drc_key(call)
             state, value = self._drc.check(key)
             if state == WAIT:
                 cached = yield value
                 if cached is not None:
-                    yield from self._reply_cached(transport, cpu, cached)
-                    return
+                    return cached
                 # original executor died mid-call; we run it instead
             elif state == REPLAY:
-                yield from self._reply_cached(transport, cpu, value)
-                return
+                return value
         try:
             with self.tracer.span("proxy.authorize", cat="proxy", prog=call.prog,
                                   proc=call.proc) if self.tracer.enabled else NULL_SPAN:
@@ -295,11 +311,43 @@ class SgfsServerProxy:
         encoded = reply.encode()
         if key is not None:
             self._drc.complete(key, encoded)
-        yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
-        yield from self._send_reply(transport, encoded)
+        return encoded
 
-    def _reply_cached(self, transport, cpu, encoded: bytes):
-        """Send a DRC-cached reply, charging the usual outbound costs."""
+    def _serve_compound(self, transport, upstream: RpcClient,
+                        env: CallMessage,
+                        identity: Optional[DistinguishedName],
+                        mapped: Optional[Account]):
+        """Execute a compound envelope's members strictly in list order
+        and answer with a single envelope reply.
+
+        Each member runs through the same DRC/authorize path as a bare
+        call (so a retransmitted envelope replays its non-idempotent
+        members), but the whole batch pays one inbound and one outbound
+        record charge — that amortization is what the envelope buys.
+        An undecodable member becomes an empty opaque in the reply so
+        its siblings still land."""
+        cpu = self.host.cpu
+        try:
+            members = unpack_members(env.args)
+        except Exception:
+            return  # garbage envelope: drop (the client retransmits)
+        if self.obs.enabled:
+            self.obs.counter("proxy.server", "compound_envelopes").inc()
+            self.obs.counter("proxy.server", "compound_members").inc(len(members))
+        out = []
+        for record in members:
+            try:
+                call = CallMessage.decode(record)
+            except Exception:
+                out.append(b"")
+                continue
+            if call.prog == COMPOUND_PROGRAM:
+                out.append(b"")  # nested envelopes are not a thing
+                continue
+            out.append(
+                (yield from self._execute_call(upstream, call, identity, mapped))
+            )
+        encoded = ReplyMessage(xid=env.xid, results=pack_members(out)).encode()
         yield from charge_profile(self.sim, cpu, self.cost, len(encoded), self.account)
         yield from self._send_reply(transport, encoded)
 

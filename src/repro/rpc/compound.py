@@ -1,0 +1,59 @@
+"""Compound RPC envelope — many calls, one round trip.
+
+GridFTP-style pipelining hides WAN latency by keeping many requests in
+flight; the compound envelope goes one step further and amortizes the
+per-record transport charge too.  A compound CALL carries a list of
+fully encoded member CALL records as its args; the matching REPLY
+carries the member REPLY records in the same order (an undecodable or
+failed member is returned as an empty opaque so the others survive).
+
+Two properties keep this safe on a lossy WAN:
+
+- member xids are allocated (and the member records encoded) exactly
+  once, *before* the envelope is first transmitted, so a retransmitted
+  envelope replays byte-identical members and the server-side duplicate
+  request cache recognizes every one of them;
+- members are executed strictly in list order on the server, so a
+  same-seed run issues, executes, and completes members in the same
+  order regardless of how often the envelope itself was retransmitted.
+
+The envelope program number lives outside the transient range so it can
+never collide with NFS or the SGFS control programs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xdr import Packer, Unpacker
+
+#: private-use program number for the proxy-to-proxy compound envelope
+COMPOUND_PROGRAM = 0x2F5F_0001
+COMPOUND_VERSION = 1
+
+#: the only procedure: execute the member calls in order
+COMPOUND_EXEC = 1
+
+#: hard cap on members per envelope — bounds server-side burst work and
+#: keeps a corrupted count field from allocating unbounded memory
+MAX_MEMBERS = 256
+
+
+def pack_members(records: List[bytes]) -> bytes:
+    """Encode a list of member records (used for both args and results)."""
+    if len(records) > MAX_MEMBERS:
+        raise ValueError(f"compound of {len(records)} members exceeds {MAX_MEMBERS}")
+    p = Packer()
+    p.pack_uint(len(records))
+    for record in records:
+        p.pack_opaque(record)
+    return p.get_bytes()
+
+
+def unpack_members(data: bytes) -> List[bytes]:
+    """Decode a member list; raises XdrError on truncation."""
+    u = Unpacker(data)
+    count = u.unpack_uint()
+    if count > MAX_MEMBERS:
+        raise ValueError(f"compound of {count} members exceeds {MAX_MEMBERS}")
+    return [u.unpack_opaque() for _ in range(count)]

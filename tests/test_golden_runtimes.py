@@ -18,9 +18,11 @@ were captured from the pre-fast-path tree with
 If one of these fails after a scheduler change, the change altered
 event *ordering*, not just dispatch cost — that is a correctness bug.
 
-Snapshot hashes were last re-captured when the ``sync`` component
-(lock-wait counters/histograms) joined the registry; the ``total`` /
-``writeback`` bit patterns have never moved.
+Snapshot hashes were last re-captured when ``writeback_errors`` joined
+the client proxy's pre-seeded stats schema (previously it appeared
+lazily on the first error; before that, when the ``sync`` component
+joined the registry).  The ``total`` / ``writeback`` bit patterns have
+never moved.
 """
 
 from __future__ import annotations
@@ -41,41 +43,41 @@ WAN_RTT = 0.080
 #: label -> (total.hex(), writeback.hex(), snapshot sha256 sans "sim").
 GOLDEN = {
     "lan-gfs": ("0x1.587f0540471d1p-5", "0x0.0p+0",
-                 "28415e07a090206b34f6a5bc455311e2bda03df70dfb65cc8175488873798366"),
+                "2b73f13827b09d834b7e85e6cef6dffb39479b2cf20205b2e3e07b8cb9ba8530"),
     "lan-gfs-ssh": ("0x1.ebf6972ae74dap-3", "0x0.0p+0",
-                     "874c66a114e63ad47ce4dca063fc27a7655904ac9a7d145a7324c9a7c8990521"),
+                    "0d6bc38df4143aa418dba2a630c173fcd366745d93b138fe0dd6b699b241b35d"),
     "lan-nfs-v3": ("0x1.3b3084cf7f7c0p-6", "0x0.0p+0",
-                    "b671a8b011e50414fbcc65ae0f5138f42d460851a224212acea74f9f0815cbdb"),
+                   "b671a8b011e50414fbcc65ae0f5138f42d460851a224212acea74f9f0815cbdb"),
     "lan-nfs-v4": ("0x1.767a1650648d6p-6", "0x0.0p+0",
-                    "c74200bf791f2ddb5d12e97fdbe10b412b9318df067a63a59087157794a44782"),
+                   "c74200bf791f2ddb5d12e97fdbe10b412b9318df067a63a59087157794a44782"),
     "lan-sfs": ("0x1.d0d9137b33b14p-5", "0x0.0p+0",
-                 "a7f7c3c034bf4643c14fcf02842895bf19975c97ac4961a3b90acd1abe8421f1"),
+                "3f1ea3f636b68e3338b9f0d4b480718efe57785a69c9376ba907c11e3973e09d"),
     "lan-sgfs": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
-                  "9834a4c0a574b93a5ff32a8dbe105daf75be08943244815e80eda6627f0df39a"),
+                 "3c5ff2bf1ff16c741e6acab612719aebdd73ac62020ae92238dcb04a66fa5e5b"),
     "lan-sgfs-aes": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
-                      "9834a4c0a574b93a5ff32a8dbe105daf75be08943244815e80eda6627f0df39a"),
+                     "3c5ff2bf1ff16c741e6acab612719aebdd73ac62020ae92238dcb04a66fa5e5b"),
     "lan-sgfs-rc": ("0x1.85f7038585342p-5", "0x0.0p+0",
-                     "77e0fe4767cac5b587343859349c042d46bd82f8ffbcff1b345aecf0390953e0"),
+                    "dab96c0188bd673311b04c2a983b1467b87ce351f5a9603fe5745697f0a39c16"),
     "lan-sgfs-sha": ("0x1.73028e2835f84p-5", "0x0.0p+0",
-                      "fd556e5c272f331650fba828f7148702674f2ce7a3a51db6b5d202dd282bf1e6"),
+                     "e179ea32db7623e885ca8e2f149567bebf54ad8b2642cf6fa5dbb7c0bdd242c7"),
     "wan-gfs": ("0x1.a45d91c39bd36p+0", "0x0.0p+0",
-                 "0f64de1056dbf058601558706cda58babf52cc6057199553a2f72e466726ec53"),
+                "14acee826f920019c0b742e71072209c912d430dea8a9207e36f52ed2aba2db0"),
     "wan-gfs-ssh": ("0x1.000717872956ep+1", "0x0.0p+0",
-                     "31d510f6023d21bbfb5cbd80652a210ed905149d76d64949d28211be3aa3be3c"),
+                    "e21e162624c084578a1c1b739ec25ec0fcfb7788ea84ec9f5752f70b99555c37"),
     "wan-nfs-v3": ("0x1.f417d00c6496ap-1", "0x0.0p+0",
-                    "977a1553d7f2fc9099f4956bffce13bd4a2bf1bf877980668b6873b44d1cc8ce"),
+                   "977a1553d7f2fc9099f4956bffce13bd4a2bf1bf877980668b6873b44d1cc8ce"),
     "wan-nfs-v4": ("0x1.f5fde87e88beep-1", "0x0.0p+0",
-                    "c317e19ca35373c40c99baed50aebc8a675cd54e5b15ddb4f453270ec79e3490"),
+                   "c317e19ca35373c40c99baed50aebc8a675cd54e5b15ddb4f453270ec79e3490"),
     "wan-sfs": ("0x1.044957f80294ap+0", "0x0.0p+0",
-                 "c8599b424e330e61d273131e1ca7ded13ee4d7228f022bb32419db5dda790d0f"),
+                "1657a35f493c65e5ba5b4e8996d504439ef6e9c8eacee38b19a7aeb86b0754a8"),
     "wan-sgfs": ("0x1.a9162ab729484p+0", "0x0.0p+0",
-                  "07a3acd960bcb4a5a65e825dfa69cfe1b8e00da2940df2aead0573417ecb4cda"),
+                 "224298f5aecda925bf68d96673bbb4a2559ce40e52d1ebe1a66b9ff29fc9030e"),
     "wan-sgfs-aes": ("0x1.a9162ab729484p+0", "0x0.0p+0",
-                      "07a3acd960bcb4a5a65e825dfa69cfe1b8e00da2940df2aead0573417ecb4cda"),
+                     "224298f5aecda925bf68d96673bbb4a2559ce40e52d1ebe1a66b9ff29fc9030e"),
     "wan-sgfs-rc": ("0x1.a5c951b5c5c52p+0", "0x0.0p+0",
-                     "ecb97676b1e4accb14ba9e6ce2a7915207a5daa782e4b8c63b1cf5f6ff641e4b"),
+                    "19ebc74e5be4d4aff71fa65f5ad97085cc7520360560043b2dcac1831e542408"),
     "wan-sgfs-sha": ("0x1.a531ae0adb48cp+0", "0x0.0p+0",
-                      "caddfb7053653b1df6bc4c4f94b0852859a7f661c4b147e8eb2c1b14eb75b014"),
+                     "ee66eafb3b0e93dbb72742facd30f02fbfd04002c701bbc01fd12c57c251a570"),
 }
 
 
