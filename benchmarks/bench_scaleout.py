@@ -26,13 +26,30 @@ Runs pinned sgfs-aes fleet scenarios on the widened (8x) LAN and writes
   ``wan-80ms-postmark-s{1,4}`` run PostMark against a capacity-squeezed
   proxy cache so eviction write-back traffic crosses the WAN mid-run;
   the windowed write-behind + compound envelopes must raise the
-  transaction rate (``postmark_txn_gain_s4_vs_s1`` > 1.0).
+  transaction rate (``postmark_txn_gain_s4_vs_s1`` > 1.0);
+- ``authz-1e6`` — the population-scale identity layer: hashed-gridmap
+  lookup cost probed at 10^3 and 10^6 entries.  The wall-clock times
+  are printed but **not** recorded (they are not virtual-time); what is
+  recorded is the robust boolean ``o1_lookup`` — the 10^6 lookups must
+  stay within 8x of the 10^3 lookups (a hash map sits near 1x, a linear
+  scan near 1000x) — plus the deterministic resolution check;
+- ``churn-8c-{full,resumed,delegated}`` — session-establishment
+  throughput under login storms: 8 staggered long-lived
+  :class:`~repro.workloads.churn.SessionChurn` clients cycling their
+  upstream sessions.  ``full`` pays the complete RSA handshake on every
+  reconnect; ``resumed`` turns session tickets on (exactly 8 full
+  handshakes, the initial logins); ``delegated`` additionally
+  authenticates with short-lived limited proxy credentials that expire
+  mid-run, so reconnects interleave re-delegations with abbreviated
+  handshakes while the server proxy's epoch-stamped authz cache
+  revalidates under gridmap churn (``authz_stale`` > 0).
 
-Every recorded value is virtual-time and therefore deterministic: the
-committed snapshot must match a fresh run bit-for-bit (CI enforces this
-with ``repro bench-diff``), and ``--check`` additionally fails the build
-if the multi-core speedup ever drops below 3x or the 4-backend grid
-speedup below 1.8x.
+Every recorded value is virtual-time (or a robust boolean) and
+therefore deterministic: the committed snapshot must match a fresh run
+bit-for-bit (CI enforces this with ``repro bench-diff``), and
+``--check`` additionally fails the build if the multi-core speedup ever
+drops below 3x, the 4-backend grid speedup below 1.8x, the gridmap
+lookup stops being O(1), or the churn fleets stop resuming / renewing.
 
 Usage::
 
@@ -47,9 +64,12 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
 
 from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.gsi import Gridmap
 from repro.harness import run_fleet, run_iozone, run_postmark
+from repro.workloads.churn import SessionChurn
 from repro.workloads.iozone import IOzoneReadReread, IOzoneWriteRead
 
 FILE_SIZE = 128 * 1024  # per client, read + reread
@@ -79,6 +99,27 @@ MIN_WAN_RATIO = 0.5
 #: proxy cache capacity for the PostMark WAN runs — small enough that
 #: eviction write-back traffic crosses the WAN during the timed phases
 PM_CACHE_CAPACITY = 256 * 1024
+
+# Population-scale authz: probe the hashed gridmap at two sizes three
+# decades apart.  min-of-repeats wall clock with an 8x slack makes the
+# O(1) verdict robust (a linear scan would blow the bound by ~100x).
+AUTHZ_SMALL = 1_000
+AUTHZ_LARGE = 1_000_000
+AUTHZ_PROBES = 64
+AUTHZ_ROUNDS = 200
+AUTHZ_REPEATS = 5
+AUTHZ_SLACK = 8.0
+
+# Session churn: 8 clients staggered into a login storm, each a
+# long-lived light-I/O session cycling its upstream every 1.5 virtual
+# seconds; the delegated variant's 4 s proxy lifetime forces several
+# renewals inside the 12 s run.
+CHURN_CLIENTS = 8
+CHURN_DURATION = 12.0
+CHURN_PERIOD = 0.5
+CHURN_STAGGER = 0.25
+CHURN_RECONNECT = 1.5
+CHURN_DELEGATION = 4.0
 
 
 def _fleet(clients: int, cores: int, **kw):
@@ -164,6 +205,99 @@ def _grid_measure(result, servers: int) -> dict:
     }
 
 
+def _population_gridmap(entries: int) -> Gridmap:
+    # Raw dict population: DN parsing 10^6 names would dominate setup
+    # without touching the quantity under test (hash lookup cost).
+    gm = Gridmap()
+    gm.entries = {
+        f"/C=US/O=UFL/OU=pop/CN=User {i:07d}": f"acct{i % 97:02d}"
+        for i in range(entries)
+    }
+    return gm
+
+
+def _lookup_seconds(gm: Gridmap, entries: int) -> float:
+    """Best-of-repeats wall seconds for AUTHZ_ROUNDS×AUTHZ_PROBES lookups."""
+    probes = [
+        f"/C=US/O=UFL/OU=pop/CN=User {(i * 7919) % entries:07d}"
+        for i in range(AUTHZ_PROBES)
+    ]
+    lookup = gm.lookup_str
+    best = float("inf")
+    for _ in range(AUTHZ_REPEATS):
+        t0 = time.perf_counter()
+        for _ in range(AUTHZ_ROUNDS):
+            for dn in probes:
+                lookup(dn)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _authz_measure() -> dict:
+    small = _population_gridmap(AUTHZ_SMALL)
+    large = _population_gridmap(AUTHZ_LARGE)
+    resolved = (
+        small.lookup_str(f"/C=US/O=UFL/OU=pop/CN=User {0:07d}") == "acct00"
+        and large.lookup_str(
+            f"/C=US/O=UFL/OU=pop/CN=User {AUTHZ_LARGE - 1:07d}"
+        ) == f"acct{(AUTHZ_LARGE - 1) % 97:02d}"
+        and large.lookup_str("/C=US/O=UFL/OU=pop/CN=Nobody") is None
+    )
+    t_small = _lookup_seconds(small, AUTHZ_SMALL)
+    t_large = _lookup_seconds(large, AUTHZ_LARGE)
+    # Wall-clock numbers are printed for the operator but kept out of
+    # the JSON — only virtual-time and robust booleans are committed.
+    n = AUTHZ_ROUNDS * AUTHZ_PROBES
+    print(f"  authz lookup: {AUTHZ_SMALL} entries "
+          f"{t_small / n * 1e9:7.1f} ns/lookup, "
+          f"{AUTHZ_LARGE} entries {t_large / n * 1e9:7.1f} ns/lookup "
+          f"({t_large / t_small:.2f}x, bound {AUTHZ_SLACK:.0f}x)")
+    return {
+        "small_entries": AUTHZ_SMALL,
+        "large_entries": AUTHZ_LARGE,
+        "probes_per_round": AUTHZ_PROBES,
+        "rounds": AUTHZ_ROUNDS,
+        "o1_lookup": bool(t_large <= t_small * AUTHZ_SLACK),
+        "lookups_resolved": bool(resolved),
+    }
+
+
+def _churn_fleet(**kw):
+    return run_fleet(
+        "sgfs-aes",
+        lambda: SessionChurn(duration=CHURN_DURATION, period=CHURN_PERIOD),
+        clients=CHURN_CLIENTS, cal=FAT_LAN, server_cores=1,
+        stagger=CHURN_STAGGER, reconnect_interval=CHURN_RECONNECT, **kw,
+    )
+
+
+def _churn_measure(result, label: str) -> dict:
+    tls = result.stats.get("tls", {})
+    gsi = result.stats.get("gsi", {})
+    psrv = result.stats.get("proxy.server", {})
+    # ``handshakes`` counts every establishment; the full/resumed split
+    # is only on the wire (and counted) when tickets are negotiated.
+    total = tls.get(f"handshakes{{role=server,suite={SUITE}}}", 0)
+    full = tls.get(f"full_handshakes{{role=server,suite={SUITE}}}", 0)
+    resumed = tls.get(f"resumptions{{role=server,suite={SUITE}}}", 0)
+    return {
+        "mode": label,
+        "clients": CHURN_CLIENTS,
+        "duration": CHURN_DURATION,
+        "reconnect_interval": CHURN_RECONNECT,
+        "makespan_virtual_seconds": result.makespan,
+        "tls_handshakes": total,
+        "tls_full_handshakes": full,
+        "tls_resumptions": resumed,
+        "sessions_per_vsec": round(total / result.makespan, 3),
+        "delegations": gsi.get("delegations", 0),
+        "renewals": gsi.get("renewals", 0),
+        "authz_hits": psrv.get("authz_cache_hits", 0),
+        "authz_misses": psrv.get("authz_cache_misses", 0),
+        "authz_stale": psrv.get("authz_cache_stale", 0),
+    }
+
+
 def _measure(result, clients: int, cores: int) -> dict:
     tls = result.stats.get("tls", {})
     return {
@@ -203,6 +337,16 @@ def run_benchmarks() -> dict:
     for servers in (1, 2, 4):
         grid = _grid_fleet(servers)
         out["scenarios"][f"grid-24c-{servers}s"] = _grid_measure(grid, servers)
+    out["scenarios"]["authz-1e6"] = _authz_measure()
+    out["scenarios"]["churn-8c-full"] = _churn_measure(
+        _churn_fleet(), "full")
+    out["scenarios"]["churn-8c-resumed"] = _churn_measure(
+        _churn_fleet(session_tickets=True), "resumed")
+    out["scenarios"]["churn-8c-delegated"] = _churn_measure(
+        _churn_fleet(session_tickets=True,
+                     delegation_lifetime=CHURN_DELEGATION), "delegated")
+    out["scenarios"]["churn-8c-delegated"]["delegation_lifetime"] = (
+        CHURN_DELEGATION)
     out["scenarios"]["wan-lan-16m"] = _wan_measure(
         _wan_iozone(0.0, 1), 0.0, 1)
     for streams in (1, WAN_STREAMS):
@@ -224,7 +368,7 @@ def run_benchmarks() -> dict:
         / out["scenarios"]["wan-80ms-postmark-s1"]["txn_per_sec"])
     out["postmark_txn_gain_s4_vs_s1"] = round(pm_gain, 3)
     for label, m in out["scenarios"].items():
-        if label.startswith("wan-"):
+        if label.startswith(("wan-", "authz-", "churn-")):
             continue
         extra = (f"striped_r={m['striped_reads']} striped_w={m['striped_writes']}"
                  if "striped_reads" in m else
@@ -232,6 +376,15 @@ def run_benchmarks() -> dict:
                  f"resumed={m['tls_resumptions']}")
         print(f"  {label:16s} {m['aggregate_mb_per_sec']:8.1f} MB/s  "
               f"makespan {m['makespan_virtual_seconds']:.5f}s  {extra}")
+    for label in ("churn-8c-full", "churn-8c-resumed", "churn-8c-delegated"):
+        m = out["scenarios"][label]
+        print(f"  {label:20s} {m['sessions_per_vsec']:6.2f} sessions/s  "
+              f"hs={m['tls_handshakes']} "
+              f"full={m['tls_full_handshakes']} "
+              f"resumed={m['tls_resumptions']} "
+              f"renewals={m['renewals']} "
+              f"authz h/m/s={m['authz_hits']}/{m['authz_misses']}/"
+              f"{m['authz_stale']}")
     for label in ("wan-lan-16m", "wan-80ms-16m-s1",
                   f"wan-80ms-16m-s{WAN_STREAMS}"):
         m = out["scenarios"][label]
@@ -303,6 +456,47 @@ def check(result: dict) -> int:
             f"(blocks={pm_s4['writeback_blocks']}, "
             f"envelopes={pm_s4['compound_envelopes']})"
         )
+    authz = result["scenarios"]["authz-1e6"]
+    if not authz["o1_lookup"]:
+        failures.append(
+            f"gridmap lookup at {AUTHZ_LARGE} entries exceeded "
+            f"{AUTHZ_SLACK:.0f}x the {AUTHZ_SMALL}-entry cost — not O(1)"
+        )
+    if not authz["lookups_resolved"]:
+        failures.append("population gridmap lookups resolved incorrectly")
+    full = result["scenarios"]["churn-8c-full"]
+    if full["tls_resumptions"] != 0:
+        failures.append(
+            f"ticket-less churn fleet recorded "
+            f"{full['tls_resumptions']} resumptions"
+        )
+    if full["tls_handshakes"] <= CHURN_CLIENTS:
+        failures.append(
+            f"ticket-less churn fleet never re-handshook "
+            f"(handshakes={full['tls_handshakes']})"
+        )
+    for label in ("churn-8c-resumed", "churn-8c-delegated"):
+        m = result["scenarios"][label]
+        if m["tls_full_handshakes"] != CHURN_CLIENTS:
+            failures.append(
+                f"{label}: expected exactly {CHURN_CLIENTS} full handshakes "
+                f"(the initial logins), got {m['tls_full_handshakes']}"
+            )
+        if m["tls_resumptions"] <= 0:
+            failures.append(f"{label} recorded no TLS resumptions")
+    deleg = result["scenarios"]["churn-8c-delegated"]
+    if deleg["renewals"] <= 0:
+        failures.append("delegated churn fleet never renewed a delegation")
+    if deleg["delegations"] != CHURN_CLIENTS + deleg["renewals"]:
+        failures.append(
+            f"delegation accounting off: {deleg['delegations']} != "
+            f"{CHURN_CLIENTS} logins + {deleg['renewals']} renewals"
+        )
+    if deleg["authz_stale"] <= 0:
+        failures.append(
+            "delegated churn never revalidated a stale authz cache entry "
+            "(gridmap epoch invalidation untested)"
+        )
     for msg in failures:
         print(f"FAIL: {msg}")
     if not failures:
@@ -310,7 +504,9 @@ def check(result: dict) -> int:
               f"grid {grid_ratio:.2f}x >= {MIN_GRID_RATIO:.1f}x, "
               f"wan {wan_ratio:.2f}x >= {MIN_WAN_RATIO:.1f}x, "
               f"postmark gain {pm_gain:.2f}x, "
-              f"{resume['tls_resumptions']} resumptions")
+              f"{resume['tls_resumptions']} resumptions, "
+              f"authz O(1) at {AUTHZ_LARGE} entries, "
+              f"churn renewals {deleg['renewals']}")
     return 1 if failures else 0
 
 
@@ -323,8 +519,10 @@ def main(argv=None) -> int:
                              "the 4-backend grid speedup is >= 1.8x, the "
                              "80ms WAN run holds >= 0.5x LAN throughput "
                              "with 4 streams, the WAN PostMark txn rate "
-                             "improves, and the reconnect fleet resumed "
-                             "sessions")
+                             "improves, the reconnect fleet resumed "
+                             "sessions, the 10^6-entry gridmap lookup "
+                             "stays O(1), and the churn fleets resumed / "
+                             "renewed as configured")
     args = parser.parse_args(argv)
     print("bench_scaleout (sgfs-aes, fat LAN)")
     result = run_benchmarks()

@@ -76,7 +76,11 @@ def _parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="show the calibration constants")
 
     run_p = sub.add_parser("run", help="run one workload on one setup")
-    run_p.add_argument("--workload", choices=sorted(WORKLOAD_RUNNERS), required=True)
+    run_p.add_argument("--workload",
+                       choices=sorted([*WORKLOAD_RUNNERS, "churn"]),
+                       required=True,
+                       help="benchmark to run; 'churn' (long-lived "
+                            "light-I/O sessions) requires --clients >= 2")
     run_p.add_argument("--setup", choices=sorted(SETUP_BUILDERS), required=True)
     run_p.add_argument("--rtt-ms", type=float, default=0.0,
                        help="emulated WAN round-trip time (default: LAN)")
@@ -106,6 +110,12 @@ def _parser() -> argparse.ArgumentParser:
                        help="cycle each fleet client's upstream session "
                             "every N virtual milliseconds (exercises "
                             "resumption)")
+    run_p.add_argument("--delegation-ms", type=float, default=None,
+                       help="SSO mode: fleet clients authenticate with "
+                            "short-lived limited proxy credentials valid N "
+                            "virtual milliseconds; expiry forces "
+                            "re-delegation on the next reconnect (secure "
+                            "sgfs* setups only)")
     run_p.add_argument("--batch-records", type=int, default=1,
                        help="coalesce up to N queued server replies per "
                             "session into one sealing pass (default: 1)")
@@ -230,7 +240,7 @@ def _parser() -> argparse.ArgumentParser:
 def _cmd_list(out) -> int:
     print("setups: ", ", ".join(sorted(SETUP_BUILDERS)), file=out)
     print("suites: ", ", ".join(sorted(SUITES)), file=out)
-    print("workloads: ", ", ".join(sorted(WORKLOAD_RUNNERS)), file=out)
+    print("workloads: ", ", ".join(sorted([*WORKLOAD_RUNNERS, "churn"])), file=out)
     print("figures: ", ", ".join(FIGURES), file=out)
     print("fault presets: ", ", ".join(sorted(FAULT_PRESETS)), file=out)
     return 0
@@ -265,6 +275,7 @@ def _write_stats_json(path: str, stats: dict, out) -> int:
 def _cmd_run_fleet(args, kwargs, out) -> int:
     """The ``run --clients N`` path: one N-client concurrent fleet."""
     from repro.harness import run_fleet
+    from repro.workloads.churn import SessionChurn
     from repro.workloads.iozone import IOzoneReadReread, IOzoneWriteRead
     from repro.workloads.mab import ModifiedAndrewBenchmark
     from repro.workloads.postmark import PostMark
@@ -276,6 +287,7 @@ def _cmd_run_fleet(args, kwargs, out) -> int:
         "postmark": lambda: PostMark(None),
         "mab": ModifiedAndrewBenchmark,
         "seismic": lambda: Seismic(None),
+        "churn": lambda: SessionChurn(),
     }
     try:
         result = run_fleet(
@@ -292,6 +304,8 @@ def _cmd_run_fleet(args, kwargs, out) -> int:
             replicas=args.replicas,
             streams=args.streams,
             pipeline_depth=args.pipeline_depth,
+            delegation_lifetime=(args.delegation_ms / 1000.0
+                                 if args.delegation_ms else None),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=out)
@@ -316,7 +330,6 @@ def _cmd_run_fleet(args, kwargs, out) -> int:
 
 
 def _cmd_run(args, out) -> int:
-    runner = WORKLOAD_RUNNERS[args.workload]
     kwargs = {}
     if args.disk_cache:
         if args.setup in ("nfs-v3", "nfs-v4"):
@@ -333,6 +346,10 @@ def _cmd_run(args, out) -> int:
         return 2
     if args.clients > 1:
         return _cmd_run_fleet(args, kwargs, out)
+    if args.workload == "churn":
+        print("error: the churn workload requires a fleet run "
+              "(--clients >= 2)", file=out)
+        return 2
     for flag, active in (
         ("--server-cores", args.server_cores > 1),
         ("--session-tickets", args.session_tickets),
@@ -340,6 +357,7 @@ def _cmd_run(args, out) -> int:
         ("--batch-records", args.batch_records > 1),
         ("--servers", args.servers > 1),
         ("--replicas", args.replicas > 1),
+        ("--delegation-ms", args.delegation_ms is not None),
     ):
         if active:
             print(f"error: {flag} requires a fleet run (--clients >= 2)",
@@ -349,6 +367,7 @@ def _cmd_run(args, out) -> int:
         kwargs["streams"] = args.streams
     if args.pipeline_depth is not None:
         kwargs["pipeline_depth"] = args.pipeline_depth
+    runner = WORKLOAD_RUNNERS[args.workload]
     result = runner(args.setup, rtt=args.rtt_ms / 1000.0, setup_kwargs=kwargs or None,
                     faults=args.faults, fault_seed=args.fault_seed)
     rtt_label = "LAN" if args.rtt_ms == 0 else f"{args.rtt_ms:g}ms RTT"

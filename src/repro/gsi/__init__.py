@@ -14,7 +14,13 @@ measures or relies on (see DESIGN.md substitution table).
 
 from repro.gsi.names import DistinguishedName
 from repro.gsi.certs import Certificate, CertificateAuthority, CertError, ValidationError
-from repro.gsi.proxy import issue_proxy_certificate, effective_identity
+from repro.gsi.proxy import (
+    DEFAULT_PROXY_LIFETIME,
+    DELEGATION_CPU_SECONDS,
+    effective_identity,
+    is_limited_proxy,
+    issue_proxy_certificate,
+)
 from repro.gsi.gridmap import Gridmap, GridmapError
 
 __all__ = [
@@ -23,8 +29,11 @@ __all__ = [
     "CertificateAuthority",
     "CertError",
     "ValidationError",
+    "DEFAULT_PROXY_LIFETIME",
+    "DELEGATION_CPU_SECONDS",
     "issue_proxy_certificate",
     "effective_identity",
+    "is_limited_proxy",
     "Gridmap",
     "GridmapError",
 ]

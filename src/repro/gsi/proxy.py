@@ -6,21 +6,45 @@ user's DN with ``CN=proxy``.  A service holding the proxy credential can
 then authenticate *as the user* without ever touching the user's
 long-term key.  This is how the DSS creates SGFS sessions on a user's
 behalf (paper §3.2).
+
+Restricted delegation follows the classic GSI shape ("Security for Grid
+Services", PAPERS.md): a **limited** proxy extends the DN with
+``CN=limited proxy`` instead.  It authenticates as the same base
+identity for data access, but services refuse it for privileged
+actions — here, ACL management (FSS ``SetAcl``/``RemoveAcl``) and DSS
+``GrantAccess``/``RevokeAccess`` — and it cannot delegate further.
+
+Determinism: issuance is a pure function of its inputs — the caller's
+DRBG stream supplies all randomness and ``now`` is the caller's clock
+(virtual seconds inside the simulation), so same-seed runs issue
+bit-identical certificates.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import replace
 from typing import Optional
 
 from repro.crypto.drbg import Drbg
 from repro.crypto.rsa import generate_keypair
-from repro.gsi.certs import Certificate, Credential, _serial_counter
+from repro.gsi.certs import Certificate, Credential, ValidationError, _serial_counter
 from repro.gsi.names import DistinguishedName
 
 #: Default proxy lifetime: 12 hours, the globus-style default.
 DEFAULT_PROXY_LIFETIME = 12 * 3600.0
+
+#: CN value of an impersonation (full) proxy certificate.
+PROXY_CN = "proxy"
+
+#: CN value of a restricted proxy: same identity, privileged management
+#: actions refused, no further delegation.
+LIMITED_PROXY_CN = "limited proxy"
+
+#: Virtual CPU seconds one delegation costs the issuing host (proxy
+#: keypair generation + the user-key signature) — the same order as a
+#: full TLS handshake's RSA work.  Charged by callers that run inside
+#: the simulation (the fleet harness, the CredentialPortal).
+DELEGATION_CPU_SECONDS = 0.004
 
 
 def issue_proxy_certificate(
@@ -29,14 +53,23 @@ def issue_proxy_certificate(
     lifetime: float = DEFAULT_PROXY_LIFETIME,
     rng: Optional[Drbg] = None,
     key_bits: int = 1024,
+    limited: bool = False,
 ) -> Credential:
     """Create a delegated proxy credential signed by ``user``'s key.
 
     The resulting credential chains: proxy cert -> user cert -> CA.
+    ``limited=True`` issues a restricted proxy (``CN=limited proxy``).
+    ``user`` may itself be a (full) proxy credential — the chain simply
+    grows — but a *limited* proxy refuses further delegation
+    (:class:`~repro.gsi.certs.ValidationError`), per GSI semantics.
+    ``lifetime`` is in the caller's clock units (virtual seconds in
+    simulation); short lifetimes are the point of SSO portals.
     """
+    if is_limited_proxy(user.certificate.subject):
+        raise ValidationError("a limited proxy cannot delegate further")
     rng = rng or Drbg(f"proxy:{user.dn}:{now}")
     proxy_keys = generate_keypair(key_bits, rng)
-    subject = user.dn.child("CN", "proxy")
+    subject = user.dn.child("CN", LIMITED_PROXY_CN if limited else PROXY_CN)
     cert = Certificate(
         subject=subject,
         issuer=user.dn,
@@ -51,12 +84,24 @@ def issue_proxy_certificate(
 
 
 def effective_identity(subject: DistinguishedName) -> DistinguishedName:
-    """Strip trailing ``CN=proxy`` components to get the base identity.
+    """Strip trailing ``CN=proxy`` / ``CN=limited proxy`` components.
 
     Authorization (gridmap lookups, ACL matching) must key on the user's
-    identity, not the delegated proxy's extended DN.
+    base identity, not the delegated proxy's extended DN.
     """
     rdns = list(subject.rdns)
-    while len(rdns) > 1 and rdns[-1] == ("CN", "proxy"):
+    while len(rdns) > 1 and rdns[-1] in (
+        ("CN", PROXY_CN), ("CN", LIMITED_PROXY_CN),
+    ):
         rdns.pop()
     return DistinguishedName(tuple(rdns))
+
+
+def is_limited_proxy(subject: DistinguishedName) -> bool:
+    """True when any delegation step in ``subject`` was restricted.
+
+    A limited step anywhere in the chain taints the whole credential
+    (delegating from a limited proxy is refused, but the check stays
+    conservative).
+    """
+    return any(rdn == ("CN", LIMITED_PROXY_CN) for rdn in subject.rdns)

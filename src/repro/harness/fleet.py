@@ -61,7 +61,13 @@ from repro.grid import (
     GridRouter,
 )
 from repro.grid.layout import DEFAULT_BLOCK_SIZE
-from repro.gsi import CertificateAuthority, DistinguishedName, Gridmap
+from repro.gsi import (
+    CertificateAuthority,
+    DELEGATION_CPU_SECONDS,
+    DistinguishedName,
+    Gridmap,
+    issue_proxy_certificate,
+)
 from repro.gsi.gridmap import UnmappedPolicy
 from repro.nfs import protocol as pr
 from repro.nfs.protocol import FileHandle
@@ -219,6 +225,7 @@ def run_fleet(
     grid_block_size: int = DEFAULT_BLOCK_SIZE,
     streams: int = 1,
     pipeline_depth: Optional[int] = None,
+    delegation_lifetime: Optional[float] = None,
 ) -> FleetResult:
     """Run ``clients`` concurrent workload instances against one server.
 
@@ -271,6 +278,19 @@ def run_fleet(
     force session tickets on so sub-channels resume rather than repeat
     the full handshake.  ``streams=1`` with no pipeline depth is the
     exact historical code path.
+
+    ``delegation_lifetime=T`` (secure setups only) switches every client
+    to SSO-style **delegated credentials**: each session authenticates
+    with a short-lived *limited* proxy certificate (lifetime T virtual
+    seconds) delegated from the client's long-term identity instead of
+    the identity itself.  A reconnect after expiry first re-delegates —
+    charging :data:`~repro.gsi.proxy.DELEGATION_CPU_SECONDS` and
+    re-entering the gridmap (bumping its epoch, so the server proxy's
+    authz cache revalidates) — then handshakes; with session tickets on,
+    that handshake still resumes abbreviated, so renewal costs one
+    delegation rather than a full RSA exchange.  Counters
+    ``gsi.delegations`` / ``gsi.renewals`` record the churn.  ``None``
+    is the exact historical code path.
     """
     if clients < 1:
         raise ValueError("fleet needs at least one client")
@@ -285,6 +305,11 @@ def run_fleet(
     grid = servers > 1
     if grid and setup in ("nfs-v3", "nfs-v4"):
         raise ValueError("sharded data plane (servers > 1) requires a proxied setup")
+    if delegation_lifetime is not None:
+        if setup not in _SUITES:
+            raise ValueError("delegation_lifetime requires a secure (sgfs*) setup")
+        if delegation_lifetime <= 0:
+            raise ValueError("delegation_lifetime must be positive")
     kw = dict(setup_kwargs or {})
     cache_bytes = kw.pop("cache_bytes", None)
     disk_cache = kw.pop("disk_cache", False)
@@ -318,6 +343,15 @@ def run_fleet(
     else:
         owners = [FILE_ACCOUNT] * clients
 
+    # SSO delegation state (populated only for delegation_lifetime runs;
+    # the counters are registered lazily so legacy runs' stat schemas are
+    # untouched).
+    base_identities: List[Optional[object]] = [None] * clients
+    delegation_counts = [0] * clients
+    if delegation_lifetime is not None:
+        c_delegations = tb.obs.counter("gsi", "delegations")
+        c_renewals = tb.obs.counter("gsi", "renewals")
+
     server_proxy = None
     client_cfgs: List[Optional[SecurityConfig]] = [None] * clients
     if proxied:
@@ -342,8 +376,20 @@ def run_fleet(
                 user = ca.issue_identity(
                     dn, rng=rng.fork(f"user{i}"), key_bits=1024, now=sim.now
                 )
+                session_cred = user
+                if delegation_lifetime is not None:
+                    # SSO: the session holds a short-lived limited proxy,
+                    # never the long-term key (the "login").
+                    base_identities[i] = user
+                    session_cred = issue_proxy_certificate(
+                        user, now=sim.now, lifetime=delegation_lifetime,
+                        rng=rng.fork(f"delegate{i}:0"), key_bits=1024,
+                        limited=True,
+                    )
+                    delegation_counts[i] = 1
+                    c_delegations.inc()
                 client_cfgs[i] = SecurityConfig.for_session(
-                    user, [ca.certificate], suite, fast_ciphers=True,
+                    session_cred, [ca.certificate], suite, fast_ciphers=True,
                     rng=rng.fork(f"client-tls{i}"),
                     session_tickets=session_tickets,
                 )
@@ -473,8 +519,32 @@ def run_fleet(
             if proxied:
                 cfg = client_cfgs[i]
 
-                def make_factory(target, cfg=cfg, host=host):
+                def make_factory(target, cfg=cfg, host=host, i=i):
                     def upstream_factory():
+                        if (
+                            cfg is not None
+                            and delegation_lifetime is not None
+                            and cfg.credential.certificate.not_after <= sim.now
+                        ):
+                            # Delegation expired: re-delegate before the
+                            # handshake (the server would reject the stale
+                            # chain).  The fresh gridmap add bumps the
+                            # epoch, so the server proxy's authz cache
+                            # revalidates this DN under churn.
+                            n = delegation_counts[i]
+                            delegation_counts[i] = n + 1
+                            yield from host.cpu.consume(
+                                DELEGATION_CPU_SECONDS, "proxy"
+                            )
+                            cfg.credential = issue_proxy_certificate(
+                                base_identities[i], now=sim.now,
+                                lifetime=delegation_lifetime,
+                                rng=rng.fork(f"delegate{i}:{n}"),
+                                key_bits=1024, limited=True,
+                            )
+                            gridmap.add(_client_dn(i), owners[i].name)
+                            c_delegations.inc()
+                            c_renewals.inc()
                         sock = yield from host.connect(target, SERVER_PROXY_PORT)
                         if cfg is None:
                             return StreamTransport(sock)

@@ -13,6 +13,9 @@ User-level loop-back proxies interposed on the NFS RPC path:
   cache with write-back (the WAN story of §6.2.2–6.3).
 - :mod:`repro.proxy.acl` — grid-style ACL files (``.filename.acl``)
   with directory inheritance and in-memory caching (§4.3).
+- :mod:`repro.proxy.authz` — the epoch-stamped identity→account cache
+  the server proxy consults per session (population-scale control
+  plane; see docs/CONTROL_PLANE.md).
 - :mod:`repro.proxy.accounts` — the local account database used for
   identity mapping.
 - :mod:`repro.proxy.session_config` — the proxy configuration file
@@ -23,6 +26,7 @@ User-level loop-back proxies interposed on the NFS RPC path:
 
 from repro.proxy.accounts import AccountsDb, Account
 from repro.proxy.acl import AclStore, AclEntry, parse_acl_text, ACL_SUFFIX_FMT, acl_name_for
+from repro.proxy.authz import AuthzCache
 from repro.proxy.server_proxy import SgfsServerProxy, AuthzDecision
 from repro.proxy.client_proxy import SgfsClientProxy, ProxyCacheConfig
 from repro.proxy.session_config import SessionConfig
@@ -35,6 +39,7 @@ __all__ = [
     "parse_acl_text",
     "ACL_SUFFIX_FMT",
     "acl_name_for",
+    "AuthzCache",
     "SgfsServerProxy",
     "AuthzDecision",
     "SgfsClientProxy",

@@ -121,8 +121,23 @@ class AclStore:
     """Reads, caches and evaluates ACLs stored in the exported VFS.
 
     The store walks parent chains for inheritance and memoizes parsed
-    ACLs per protecting-file inode (invalidated explicitly when a
-    service modifies an ACL through the management interface).
+    ACLs per protecting-file inode, invalidated explicitly when a
+    service modifies an ACL through the management interface
+    (:meth:`set_acl` / :meth:`remove_acl`, the FSS ``SetAcl`` /
+    ``RemoveAcl`` actions).
+
+    Every invalidation — targeted or global — bumps :attr:`epoch`, the
+    same versioning discipline as :attr:`repro.gsi.gridmap.Gridmap.epoch`:
+    decision caches layered above this store stamp entries with the
+    epoch they were computed under and lazily re-resolve when it moves.
+
+    Determinism and units: evaluation is pure data — no clocks, no
+    randomness — so same-seed runs make bit-identical decisions.  The
+    store itself charges no virtual time; the server proxy charges one
+    ACL **disk read** (bytes through the disk model, virtual seconds)
+    whenever :attr:`cache_misses` grows during an ACCESS answer, which
+    is why hit/miss counts are part of the observable schedule and the
+    memo caches here must never change *which* reads miss.
     """
 
     def __init__(self, fs: VirtualFS, cache_enabled: bool = True):
@@ -131,19 +146,45 @@ class AclStore:
         self.cache_enabled = cache_enabled
         #: acl-file fileid -> parsed entries
         self._cache: Dict[int, List[AclEntry]] = {}
+        #: child fileid -> (parent dir fileid, entry name): O(1) reverse
+        #: index for the inheritance walk, verified against the live
+        #: directory entry on every use (renames/removes self-heal)
+        self._locations: Dict[int, tuple[int, str]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        #: invalidation counter (see class docstring)
+        self.epoch = 0
 
     # -- plumbing ------------------------------------------------------------
 
     def _parent_and_name(self, fileid: int) -> Optional[tuple[int, str]]:
-        """Locate (parent_dir_fileid, entry_name) for an inode."""
+        """Locate (parent_dir_fileid, entry_name) for an inode.
+
+        O(1) via the verified reverse index; a full inode scan only on
+        first sight of a fileid or after a rename/remove made the
+        cached location stale.
+        """
         if fileid == self.fs.root.fileid:
             return None
+        loc = self._locations.get(fileid)
+        if loc is not None:
+            parent_id, name = loc
+            try:
+                parent = self.fs.inode(parent_id)
+            except VfsError:
+                parent = None
+            if (
+                parent is not None
+                and parent.is_dir
+                and parent.entries.get(name) == fileid
+            ):
+                return loc
+            del self._locations[fileid]  # stale: fall through to rescan
         for fid, node in self.fs._inodes.items():
             if node.is_dir:
                 for name, child in node.entries.items():
                     if child == fileid:
+                        self._locations[fileid] = (fid, name)
                         return fid, name
         return None
 
@@ -161,10 +202,19 @@ class AclStore:
         return entries
 
     def invalidate(self, acl_fileid: Optional[int] = None) -> None:
+        """Drop cached parse results: one ACL file, or everything.
+
+        ``invalidate(None)`` clears the whole memo (reconfiguration);
+        ``invalidate(fileid)`` drops just that ACL file's entry
+        (targeted, what :meth:`set_acl`/:meth:`remove_acl` use).  Both
+        bump :attr:`epoch` — even when nothing was cached — so layered
+        decision caches always observe the mutation.
+        """
         if acl_fileid is None:
             self._cache.clear()
         else:
             self._cache.pop(acl_fileid, None)
+        self.epoch += 1
 
     # -- evaluation ------------------------------------------------------------
 

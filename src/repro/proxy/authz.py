@@ -1,0 +1,91 @@
+"""Versioned authorization cache for the server-side proxy.
+
+At population scale (the gridmap holds 10^6 DNs, thousands of sessions
+churn per virtual minute) the proxy must not pay a fresh gridmap walk
+plus accounts-database resolution for every session of every returning
+user — but a cache over authorization state is only safe if it can
+never serve a decision that a policy mutation has since revoked.
+
+:class:`AuthzCache` solves this with epochs instead of explicit purge
+lists: every cached identity→account resolution is stamped with the
+:attr:`~repro.gsi.gridmap.Gridmap.epoch` it was computed under.  Each
+``add``/``remove`` on the gridmap bumps the epoch, so on the next
+lookup a stamped entry no longer matches and is lazily re-resolved —
+correct under concurrent fleet mutation without any registration or
+callback plumbing between the gridmap and its caches.  Swapping the
+whole gridmap object (dynamic reconfiguration, §4.2) invalidates
+everything for the same reason: the cache also remembers *which*
+gridmap object it resolved against.
+
+Determinism: pure Python dictionaries, no virtual-time cost — caching
+only changes wall-clock work, never the simulated schedule, so enabling
+it leaves every virtual-time result bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.gsi.gridmap import Gridmap
+from repro.gsi.names import DistinguishedName
+from repro.proxy.accounts import Account, AccountsDb
+
+
+class AuthzCache:
+    """Epoch-stamped identity→account memo for one server proxy.
+
+    ``resolve`` returns the mapped :class:`Account` (or None = deny)
+    exactly as the uncached path would; hits, misses, and stale
+    re-resolutions are counted for the proxy's stats collector.
+    """
+
+    def __init__(self, accounts: AccountsDb):
+        self.accounts = accounts
+        #: DN string -> (gridmap epoch at resolution, mapped account)
+        self._entries: Dict[str, Tuple[int, Optional[Account]]] = {}
+        self._gridmap: Optional[Gridmap] = None
+        self.hits = 0
+        self.misses = 0
+        #: entries found but re-resolved because the epoch moved (the
+        #: invalidation-correctness counter: mutations land here)
+        self.stale = 0
+
+    def resolve(
+        self, gridmap: Gridmap, identity: DistinguishedName
+    ) -> Optional[Account]:
+        """Map ``identity`` through ``gridmap`` with epoch-checked caching.
+
+        Semantics are identical to ``gridmap.lookup`` + accounts
+        resolution: None means deny; an unmapped DN under the ANONYMOUS
+        policy resolves (and auto-creates, on first use) the anonymous
+        account.
+        """
+        if gridmap is not self._gridmap:
+            # Reconfiguration swapped the policy object: nothing cached
+            # under the old gridmap may survive.
+            self._entries.clear()
+            self._gridmap = gridmap
+        dn_text = str(identity)
+        entry = self._entries.get(dn_text)
+        if entry is not None:
+            epoch, account = entry
+            if epoch == gridmap.epoch:
+                self.hits += 1
+                return account
+            self.stale += 1
+        else:
+            self.misses += 1
+        account = self._resolve_uncached(gridmap, dn_text)
+        self._entries[dn_text] = (gridmap.epoch, account)
+        return account
+
+    def _resolve_uncached(
+        self, gridmap: Gridmap, dn_text: str
+    ) -> Optional[Account]:
+        account_name = gridmap.lookup_str(dn_text)
+        if account_name is None:
+            return None
+        return self.accounts.lookup(account_name) or self.accounts.ensure(account_name)
+
+    def __len__(self) -> int:
+        return len(self._entries)

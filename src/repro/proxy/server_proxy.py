@@ -33,6 +33,7 @@ from repro.obs import NULL_SPAN
 from repro.nfs.protocol import FileHandle, Fattr3, NfsStatus, Proc
 from repro.proxy.accounts import Account, AccountsDb
 from repro.proxy.acl import AclStore, is_acl_name
+from repro.proxy.authz import AuthzCache
 from repro.rpc.auth import AUTH_SYS, AuthSys
 from repro.rpc.client import RpcClient
 from repro.rpc.compound import COMPOUND_PROGRAM, pack_members, unpack_members
@@ -107,6 +108,11 @@ class SgfsServerProxy:
         self.session_identity = session_identity
         self.acl_disk = acl_disk
         self.acls = AclStore(fs, cache_enabled=acl_cache_enabled)
+        #: versioned identity→account cache: entries are stamped with
+        #: the gridmap epoch, so ``add``/``remove`` (and gridmap swaps
+        #: via :meth:`reload`) invalidate them correctly — population
+        #: scale without a gridmap walk per returning session.
+        self.authz = AuthzCache(accounts)
         self.stats = AuthzDecision()
         self.calls_forwarded = 0
         self._listener = None
@@ -141,6 +147,9 @@ class SgfsServerProxy:
                     "acl_answers": self.stats.acl_answers,
                     "unix_fallbacks": self.stats.unix_fallbacks,
                     "calls_forwarded": self.calls_forwarded,
+                    "authz_cache_hits": self.authz.hits,
+                    "authz_cache_misses": self.authz.misses,
+                    "authz_cache_stale": self.authz.stale,
                 },
             )
 
@@ -249,12 +258,16 @@ class SgfsServerProxy:
             transport.close()
 
     def _map_identity(self, identity: Optional[DistinguishedName]) -> Optional[Account]:
+        """Session authorization: identity → local account, or None = deny.
+
+        Served from the epoch-stamped :class:`AuthzCache`; a gridmap
+        ``add``/``remove`` or :meth:`reload` since the last resolution
+        forces a fresh lookup.  Pure wall-clock work — charges no
+        virtual time, so caching never perturbs the schedule.
+        """
         if identity is None:
             return None
-        account_name = self.gridmap.lookup(identity)
-        if account_name is None:
-            return None
-        return self.accounts.lookup(account_name) or self.accounts.ensure(account_name)
+        return self.authz.resolve(self.gridmap, identity)
 
     # -- per-call --------------------------------------------------------------
 

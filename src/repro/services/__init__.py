@@ -18,7 +18,10 @@ are created, reconfigured, or destroyed.
 - :mod:`repro.services.dss` — the Data Scheduler Service: session
   scheduling, the per-filesystem ACL database, gridmap generation, and
   delegation handling (a user hands the DSS a proxy credential; the DSS
-  acts on the user's behalf toward both FSSs).
+  acts on the user's behalf toward both FSSs),
+- :mod:`repro.services.portal` — the credential portal: single-sign-on
+  issuance of short-lived (optionally *limited*) proxy credentials from
+  enrolled long-term identities (see docs/CONTROL_PLANE.md).
 """
 
 from repro.services.xmlmini import XmlElement, XmlError
@@ -26,6 +29,7 @@ from repro.services.soap import SoapEnvelope, SoapFault, sign_envelope, verify_e
 from repro.services.endpoint import ServiceEndpoint, ServiceClient, ServiceError
 from repro.services.fss import FileSystemService
 from repro.services.dss import DataSchedulerService, SessionHandle
+from repro.services.portal import CredentialPortal, MAX_PORTAL_LIFETIME
 
 __all__ = [
     "XmlElement",
@@ -40,4 +44,6 @@ __all__ = [
     "FileSystemService",
     "DataSchedulerService",
     "SessionHandle",
+    "CredentialPortal",
+    "MAX_PORTAL_LIFETIME",
 ]

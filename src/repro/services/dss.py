@@ -27,6 +27,7 @@ from repro.crypto.hybrid import seal
 from repro.gsi.certs import Certificate, Credential
 from repro.gsi.gridmap import Gridmap
 from repro.gsi.names import DistinguishedName
+from repro.gsi.proxy import is_limited_proxy
 from repro.services.endpoint import ServiceClient, ServiceEndpoint
 from repro.services.soap import SoapFault
 from repro.sim.core import Simulator
@@ -58,7 +59,19 @@ class _FilesystemRecord:
 
 
 class DataSchedulerService(ServiceEndpoint):
-    """The grid's session scheduler."""
+    """The grid's session scheduler.
+
+    Access-sharing actions (``GrantAccess``/``RevokeAccess``) mutate
+    the per-filesystem ACL database and are refused to **limited**
+    proxies: a restricted session credential may open sessions but
+    never widen anyone's rights.  Session actions remain open to any
+    authenticated (possibly limited-proxy) identity.
+
+    Determinism and units: decisions are pure data over the signed
+    envelope; virtual time is the per-message
+    :data:`~repro.services.endpoint.MESSAGE_SECURITY_CPU` (seconds)
+    plus the downstream FSS calls made while orchestrating a session.
+    """
 
     def __init__(
         self,
@@ -72,7 +85,21 @@ class DataSchedulerService(ServiceEndpoint):
         """``client_fss`` maps a compute host name to its FSS
         (host, port, service certificate) — the certificate is needed to
         seal delegated credentials to that FSS."""
-        super().__init__(sim, host, port, credential, trust_anchors, name="dss")
+
+        def authorize(identity, action: str, envelope) -> bool:
+            # Limited proxies may create/destroy their own sessions but
+            # must not mutate the ACL database (GSI limited-proxy
+            # semantics: no privilege management).
+            if action in ("GrantAccess", "RevokeAccess"):
+                cert = envelope.certificate
+                if cert is not None and is_limited_proxy(cert.subject):
+                    return False
+            return True
+
+        super().__init__(
+            sim, host, port, credential, trust_anchors,
+            name="dss", authorizer=authorize,
+        )
         self.filesystems: Dict[str, _FilesystemRecord] = {}
         self.client_fss = dict(client_fss)
         self.sessions: Dict[str, SessionHandle] = {}
@@ -103,6 +130,11 @@ class DataSchedulerService(ServiceEndpoint):
     # -- actions -----------------------------------------------------------------
 
     def _grant_access(self, identity, params):
+        """Add ``dn`` → ``account`` to a filesystem's ACL database.
+
+        Bumps the generated gridmap on the next session start; running
+        proxies pick the change up through ``ReconfigureSession``.
+        """
         fs = self._fs(params)
         # Only already-authorized users may share further (simplified
         # owner model: any mapped user can grant).
@@ -112,6 +144,7 @@ class DataSchedulerService(ServiceEndpoint):
         return {"granted": params["dn"]}
 
     def _revoke_access(self, identity, params):
+        """Remove ``dn`` from a filesystem's ACL database (idempotent)."""
         fs = self._fs(params)
         if str(identity) not in fs.acl:
             raise SoapFault("Security", f"{identity} has no rights on {fs.name}")
@@ -126,6 +159,12 @@ class DataSchedulerService(ServiceEndpoint):
         return record
 
     def _create_session(self, identity, params):
+        """Orchestrate a session: server proxy, then client proxy.
+
+        Two sequential FSS calls (each a full signed SOAP exchange —
+        the dominant virtual-time cost of session establishment besides
+        the data channel's TLS handshake).
+        """
         record = self._fs(params)
         account = record.acl.get(str(identity))
         if account is None:

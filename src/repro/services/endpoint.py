@@ -10,6 +10,7 @@ hurt an established SGFS session's I/O performance".
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from typing import Callable, Dict, Iterable, Optional
 
@@ -62,6 +63,14 @@ class ServiceEndpoint:
         self.trust_anchors = tuple(trust_anchors)
         self.name = name
         self.authorizer = authorizer
+        # Restriction-aware authorizers take (identity, action, envelope)
+        # — the envelope carries the presented certificate, which is how
+        # a service refuses privileged actions to *limited* proxies.
+        # Two-argument authorizers keep working unchanged.
+        self._authorizer_wants_envelope = (
+            authorizer is not None
+            and len(inspect.signature(authorizer).parameters) >= 3
+        )
         self._handlers: Dict[str, Handler] = {}
         self._seen_nonces: set = set()
         self._listener = None
@@ -116,7 +125,11 @@ class ServiceEndpoint:
         except SoapFault as fault:
             self.faults_returned += 1
             return self._signed_reply(fault_envelope(fault.code, fault.reason))
-        if self.authorizer is not None and not self.authorizer(identity, envelope.action):
+        if self.authorizer is not None and not (
+            self.authorizer(identity, envelope.action, envelope)
+            if self._authorizer_wants_envelope
+            else self.authorizer(identity, envelope.action)
+        ):
             self.faults_returned += 1
             return self._signed_reply(
                 fault_envelope("Security", f"{identity} not authorized for {envelope.action}")

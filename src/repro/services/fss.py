@@ -19,6 +19,7 @@ from repro.crypto.drbg import Drbg
 from repro.crypto.hybrid import open_sealed
 from repro.gsi.certs import Certificate, Credential
 from repro.gsi.gridmap import Gridmap
+from repro.gsi.proxy import is_limited_proxy
 from repro.proxy.accounts import AccountsDb
 from repro.proxy.client_proxy import ProxyCacheConfig, SgfsClientProxy
 from repro.proxy.server_proxy import SgfsServerProxy
@@ -40,6 +41,19 @@ class FileSystemService(ServiceEndpoint):
     Construct with either server-side wiring (``fs``, ``accounts``,
     ``nfs_port``, ``host_credential``) or client-side wiring (or both;
     a host can play both roles).
+
+    Authorization is two-layered: WS-Security signature verification
+    establishes the *base* identity (proxy chains collapse to the
+    long-term DN), then the authorizer applies action policy — ACL
+    management needs an admin DN, and a **limited** proxy (the
+    restricted credentials the portal issues for data sessions) is
+    refused ACL management outright, whoever it delegates for.
+
+    Determinism and units: every decision is pure data over the signed
+    envelope; the only virtual time charged is the per-message
+    :data:`~repro.services.endpoint.MESSAGE_SECURITY_CPU` (seconds) and
+    whatever the started proxies consume.  Same-seed runs produce
+    bit-identical session ports, decisions, and schedules.
     """
 
     def __init__(
@@ -58,13 +72,19 @@ class FileSystemService(ServiceEndpoint):
         proxy_cost=None,
         cache_disk_factory=None,
         authorized_admins: Optional[set] = None,
+        max_delegation_lifetime: Optional[float] = None,
     ):
-        def authorize(identity, action: str) -> bool:
+        def authorize(identity, action: str, envelope) -> bool:
             # Session-management actions are open to any authenticated
             # grid user (per-session authz happens in the DSS / gridmap);
-            # ACL-management actions require an admin DN.
-            if action in ("SetAcl", "RemoveAcl") and authorized_admins is not None:
-                return str(identity) in authorized_admins
+            # ACL-management actions require an admin DN and are never
+            # allowed to a *limited* proxy, even an admin's.
+            if action in ("SetAcl", "RemoveAcl"):
+                cert = envelope.certificate
+                if cert is not None and is_limited_proxy(cert.subject):
+                    return False
+                if authorized_admins is not None:
+                    return str(identity) in authorized_admins
             return True
 
         super().__init__(
@@ -77,6 +97,10 @@ class FileSystemService(ServiceEndpoint):
         self.host_credential = host_credential
         self.proxy_cost = proxy_cost
         self.cache_disk_factory = cache_disk_factory
+        #: refuse delegated credentials valid longer than this many
+        #: virtual seconds (None = no ceiling) — long-lived delegation
+        #: defeats the point of short-lived SSO proxies
+        self.max_delegation_lifetime = max_delegation_lifetime
         self.server_sessions: Dict[str, SgfsServerProxy] = {}
         self.client_sessions: Dict[str, SgfsClientProxy] = {}
 
@@ -113,6 +137,14 @@ class FileSystemService(ServiceEndpoint):
     # -- client side ------------------------------------------------------------
 
     def _create_client_session(self, identity, params):
+        """Start a client proxy with a delegated credential.
+
+        The sealed blob is unwrapped with this FSS's private key, its
+        chain validated to a trust anchor **at the current virtual
+        time** (an expired delegation fails here, forcing the caller to
+        re-delegate), and its remaining lifetime checked against
+        :attr:`max_delegation_lifetime`.
+        """
         blob_b64 = params.get("credential")
         if not blob_b64:
             raise SoapFault("Client", "missing delegated credential")
@@ -133,6 +165,14 @@ class FileSystemService(ServiceEndpoint):
             )
         except ValidationError as exc:
             raise SoapFault("Security", f"delegated credential invalid: {exc}") from None
+        if self.max_delegation_lifetime is not None:
+            remaining = user_cred.certificate.not_after - self.sim.now
+            if remaining > self.max_delegation_lifetime:
+                raise SoapFault(
+                    "Security",
+                    f"delegated credential lives {remaining:g}s, "
+                    f"limit is {self.max_delegation_lifetime:g}s",
+                )
         suite = params.get("suite", "aes-256-cbc-sha1")
         server_host = params["server_host"]
         server_port = int(params["server_port"])

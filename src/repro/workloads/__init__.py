@@ -7,7 +7,9 @@
 - :mod:`repro.workloads.mab` — the Modified Andrew Benchmark over an
   openssh-4.6p1-shaped source tree (copy / stat / search / compile),
 - :mod:`repro.workloads.seismic` — the SPEC HPC96 Seismic 4-phase
-  I/O + compute pipeline.
+  I/O + compute pipeline,
+- :mod:`repro.workloads.churn` — long-lived light-I/O sessions for
+  control-plane churn studies (reconnects, delegation expiry).
 
 Every workload drives only the public mountpoint API
 (:class:`repro.nfs.client.NfsClient`), exactly like an unmodified
@@ -18,6 +20,7 @@ from repro.workloads.iozone import IOzoneReadReread, IOzoneWriteRead
 from repro.workloads.postmark import PostMark, PostMarkConfig
 from repro.workloads.mab import ModifiedAndrewBenchmark, SourceTree
 from repro.workloads.seismic import Seismic, SeismicConfig
+from repro.workloads.churn import SessionChurn
 
 __all__ = [
     "IOzoneReadReread",
@@ -28,4 +31,5 @@ __all__ = [
     "SourceTree",
     "Seismic",
     "SeismicConfig",
+    "SessionChurn",
 ]

@@ -18,11 +18,12 @@ were captured from the pre-fast-path tree with
 If one of these fails after a scheduler change, the change altered
 event *ordering*, not just dispatch cost — that is a correctness bug.
 
-Snapshot hashes were last re-captured when ``writeback_errors`` joined
-the client proxy's pre-seeded stats schema (previously it appeared
-lazily on the first error; before that, when the ``sync`` component
-joined the registry).  The ``total`` / ``writeback`` bit patterns have
-never moved.
+Snapshot hashes were last re-captured when the server proxy's versioned
+authz cache added ``authz_cache_{hits,misses,stale}`` to the
+``proxy.server`` collector (before that: when ``writeback_errors``
+joined the client proxy's pre-seeded schema, and when the ``sync``
+component joined the registry).  The ``total`` / ``writeback`` bit
+patterns have never moved — the authz cache consumes no virtual time.
 """
 
 from __future__ import annotations
@@ -43,41 +44,41 @@ WAN_RTT = 0.080
 #: label -> (total.hex(), writeback.hex(), snapshot sha256 sans "sim").
 GOLDEN = {
     "lan-gfs": ("0x1.587f0540471d1p-5", "0x0.0p+0",
-                "2b73f13827b09d834b7e85e6cef6dffb39479b2cf20205b2e3e07b8cb9ba8530"),
+                "26999b4f520d5cb51a76893d4aaa4a901bd1509d278e0758a7cd1363cd64a9a9"),
     "lan-gfs-ssh": ("0x1.ebf6972ae74dap-3", "0x0.0p+0",
-                    "0d6bc38df4143aa418dba2a630c173fcd366745d93b138fe0dd6b699b241b35d"),
+                    "a610becfa66000a66a1b93ca9fbdc6eaf8846dcd60a7667b69ef12caf453e193"),
     "lan-nfs-v3": ("0x1.3b3084cf7f7c0p-6", "0x0.0p+0",
                    "b671a8b011e50414fbcc65ae0f5138f42d460851a224212acea74f9f0815cbdb"),
     "lan-nfs-v4": ("0x1.767a1650648d6p-6", "0x0.0p+0",
                    "c74200bf791f2ddb5d12e97fdbe10b412b9318df067a63a59087157794a44782"),
     "lan-sfs": ("0x1.d0d9137b33b14p-5", "0x0.0p+0",
-                "3f1ea3f636b68e3338b9f0d4b480718efe57785a69c9376ba907c11e3973e09d"),
+                "71bcc5d0d48e402ff37151f9a909fca0b102c3098c7055ca8ec178f5a98862ec"),
     "lan-sgfs": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
-                 "3c5ff2bf1ff16c741e6acab612719aebdd73ac62020ae92238dcb04a66fa5e5b"),
+                 "e012530435c15974f8b4a914b5ce52552f10e1a76c8bd13f2958ded9a81fead8"),
     "lan-sgfs-aes": ("0x1.ef9223b1f5828p-5", "0x0.0p+0",
-                     "3c5ff2bf1ff16c741e6acab612719aebdd73ac62020ae92238dcb04a66fa5e5b"),
+                     "e012530435c15974f8b4a914b5ce52552f10e1a76c8bd13f2958ded9a81fead8"),
     "lan-sgfs-rc": ("0x1.85f7038585342p-5", "0x0.0p+0",
-                    "dab96c0188bd673311b04c2a983b1467b87ce351f5a9603fe5745697f0a39c16"),
+                    "203a16a575b56bb0cb6d592f2d4de6d3504b95a1ae88421d502eb441265abe98"),
     "lan-sgfs-sha": ("0x1.73028e2835f84p-5", "0x0.0p+0",
-                     "e179ea32db7623e885ca8e2f149567bebf54ad8b2642cf6fa5dbb7c0bdd242c7"),
+                     "6b6cb45e6eead15859d295faa1c1078c13bba85519c644d049db9f1f9e0b8b60"),
     "wan-gfs": ("0x1.a45d91c39bd36p+0", "0x0.0p+0",
-                "14acee826f920019c0b742e71072209c912d430dea8a9207e36f52ed2aba2db0"),
+                "695b3b18fbf0b473aea07b95a924fb7996fb5c3a8147d1718f4ba8f568ed9cfe"),
     "wan-gfs-ssh": ("0x1.000717872956ep+1", "0x0.0p+0",
-                    "e21e162624c084578a1c1b739ec25ec0fcfb7788ea84ec9f5752f70b99555c37"),
+                    "dbe3948e111144d7c27c529559b546a8f8c41f70b15f430d884c434b935d452c"),
     "wan-nfs-v3": ("0x1.f417d00c6496ap-1", "0x0.0p+0",
                    "977a1553d7f2fc9099f4956bffce13bd4a2bf1bf877980668b6873b44d1cc8ce"),
     "wan-nfs-v4": ("0x1.f5fde87e88beep-1", "0x0.0p+0",
                    "c317e19ca35373c40c99baed50aebc8a675cd54e5b15ddb4f453270ec79e3490"),
     "wan-sfs": ("0x1.044957f80294ap+0", "0x0.0p+0",
-                "1657a35f493c65e5ba5b4e8996d504439ef6e9c8eacee38b19a7aeb86b0754a8"),
+                "49c387cce4992b42a098c697ab7718387774af856221a2cb2353418f18861332"),
     "wan-sgfs": ("0x1.a9162ab729484p+0", "0x0.0p+0",
-                 "224298f5aecda925bf68d96673bbb4a2559ce40e52d1ebe1a66b9ff29fc9030e"),
+                 "ad223ad0d18c8259ed79a4ffb966372de3214331da519ef5a8b5333188a27287"),
     "wan-sgfs-aes": ("0x1.a9162ab729484p+0", "0x0.0p+0",
-                     "224298f5aecda925bf68d96673bbb4a2559ce40e52d1ebe1a66b9ff29fc9030e"),
+                     "ad223ad0d18c8259ed79a4ffb966372de3214331da519ef5a8b5333188a27287"),
     "wan-sgfs-rc": ("0x1.a5c951b5c5c52p+0", "0x0.0p+0",
-                    "19ebc74e5be4d4aff71fa65f5ad97085cc7520360560043b2dcac1831e542408"),
+                    "643f08c44315bc701812e258a54d8306b5a936812e1ea225d0e2cf61a65c06ce"),
     "wan-sgfs-sha": ("0x1.a531ae0adb48cp+0", "0x0.0p+0",
-                     "ee66eafb3b0e93dbb72742facd30f02fbfd04002c701bbc01fd12c57c251a570"),
+                     "39564c4c5121a21a51f63f9b4156153b0b301b8a700cc92bb02b947fed696ac2"),
 }
 
 

@@ -220,3 +220,45 @@ def test_gridmap_add_remove():
     assert gm.lookup(dn) == "carol"
     gm.remove(dn)
     assert gm.lookup(dn) is None
+
+
+def test_gridmap_duplicate_dn_last_line_wins():
+    gm = Gridmap.parse(
+        '"/O=Lab/CN=Alice" alice\n'
+        '"/O=Lab/CN=Bob" bob\n'
+        '"/O=Lab/CN=Alice" ops\n'
+    )
+    assert len(gm) == 2
+    assert gm.lookup(DistinguishedName.parse("/O=Lab/CN=Alice")) == "ops"
+
+
+def test_gridmap_anonymous_account_need_not_exist():
+    # The anonymous target is just a name; resolution/creation against
+    # a real accounts database is the proxy's job (AuthzCache.ensure).
+    gm = Gridmap(unmapped=UnmappedPolicy.ANONYMOUS, anonymous_account="grid-anon")
+    assert gm.lookup(DistinguishedName.parse("/O=Lab/CN=Stranger")) == "grid-anon"
+    # A mapped DN is never demoted to the anonymous account.
+    gm.add(DistinguishedName.parse("/O=Lab/CN=Alice"), "alice")
+    assert gm.lookup(DistinguishedName.parse("/O=Lab/CN=Alice")) == "alice"
+
+
+def test_gridmap_lookup_str_matches_lookup():
+    gm = Gridmap.parse('"/O=Lab/CN=Alice" alice')
+    dn = DistinguishedName.parse("/O=Lab/CN=Alice")
+    assert gm.lookup_str(str(dn)) == gm.lookup(dn) == "alice"
+    assert gm.lookup_str("/O=Lab/CN=Nobody") is None
+
+
+def test_gridmap_epoch_counts_every_mutation():
+    gm = Gridmap()
+    dn = DistinguishedName.parse("/O=Lab/CN=Carol")
+    assert gm.epoch == 0
+    gm.add(dn, "carol")
+    assert gm.epoch == 1
+    gm.remove(dn)
+    assert gm.epoch == 2
+    # Removing an unknown DN still bumps: the mutation *attempt* is the
+    # invalidation event for layered caches.
+    gm.remove(dn)
+    assert gm.epoch == 3
+    assert gm.lookup(dn) is None

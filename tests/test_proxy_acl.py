@@ -151,3 +151,47 @@ def test_unreadable_acl_fails_closed(store):
     node = fs.create(d.fileid, acl_name_for("data.txt"), ROOT)
     fs.write(node.fileid, 0, b"not an acl at all (((", ROOT)
     assert acls.evaluate(f.fileid, ALICE) == 0
+
+
+def test_invalidate_targeted_drops_only_that_acl(store):
+    acls, fs, d, f, sub, nested = store
+    acls.set_acl(d.fileid, "data.txt", [AclEntry(str(ALICE), 1)])
+    acls.set_acl(sub.fileid, "deep.txt", [AclEntry(str(ALICE), 3)])
+    acls.evaluate(f.fileid, ALICE)
+    acls.evaluate(nested.fileid, ALICE)
+    data_acl = fs.lookup(d.fileid, acl_name_for("data.txt"), ROOT)
+    misses = acls.cache_misses
+    acls.invalidate(data_acl.fileid)
+    # The sibling ACL's parse stays memoized; only data.txt re-reads.
+    assert acls.evaluate(nested.fileid, ALICE) == 3
+    assert acls.cache_misses == misses
+    assert acls.evaluate(f.fileid, ALICE) == 1
+    assert acls.cache_misses == misses + 1
+
+
+def test_invalidate_none_clears_whole_cache(store):
+    acls, fs, d, f, sub, nested = store
+    acls.set_acl(d.fileid, "data.txt", [AclEntry(str(ALICE), 1)])
+    acls.set_acl(sub.fileid, "deep.txt", [AclEntry(str(ALICE), 3)])
+    acls.evaluate(f.fileid, ALICE)
+    acls.evaluate(nested.fileid, ALICE)
+    misses = acls.cache_misses
+    acls.invalidate(None)
+    acls.evaluate(f.fileid, ALICE)
+    acls.evaluate(nested.fileid, ALICE)
+    assert acls.cache_misses == misses + 2
+
+
+def test_invalidate_always_bumps_epoch(store):
+    acls, fs, d, f, sub, nested = store
+    e0 = acls.epoch
+    acls.invalidate(None)
+    assert acls.epoch == e0 + 1
+    # Targeted invalidation of a never-cached (even bogus) fileid still
+    # counts: layered decision caches key off the epoch alone.
+    acls.invalidate(999_999)
+    assert acls.epoch == e0 + 2
+    acls.set_acl(d.fileid, "data.txt", [AclEntry(str(ALICE), 1)])
+    assert acls.epoch == e0 + 3
+    acls.remove_acl(d.fileid, "data.txt")
+    assert acls.epoch == e0 + 4

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Check that every relative link in the repo's Markdown files resolves.
+
+Walks all tracked ``*.md`` files, extracts inline links and images
+(``[text](target)``), skips absolute URLs / mailto / pure-anchor
+targets, and verifies each remaining target exists relative to the
+linking file (anchors and query strings stripped).  Exits non-zero
+listing every dangling link — the CI docs gate.
+
+Usage: python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline [text](target) and ![alt](target); stops at the first ')' so
+# nested parens in URLs are out of scope (none in this repo).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            yield path
+
+
+def check_file(md: Path, root: Path) -> list:
+    problems = []
+    text = md.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or "://" in target:
+                continue
+            # `<https://...>` autolinks don't match; bare anchors skipped above.
+            plain = target.split("#", 1)[0].split("?", 1)[0]
+            if not plain:
+                continue
+            resolved = (md.parent / plain).resolve()
+            if not resolved.exists():
+                problems.append((md.relative_to(root), lineno, target))
+    return problems
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    root = root.resolve()
+    checked = 0
+    problems = []
+    for md in iter_markdown(root):
+        checked += 1
+        problems.extend(check_file(md, root))
+    if problems:
+        for path, lineno, target in problems:
+            print(f"{path}:{lineno}: dangling link -> {target}")
+        print(f"{len(problems)} dangling link(s) across {checked} Markdown file(s)")
+        return 1
+    print(f"ok: all relative links resolve across {checked} Markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
